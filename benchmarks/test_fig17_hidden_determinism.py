@@ -1,0 +1,51 @@
+"""Figure 17: hidden-deterministic communication (Jacobi, 1K iterations).
+
+Paper (6,114 processes): the solver's wildcard receives are actually
+deterministic; gzip still stores 91 MB while CDC stores 2 MB (2.2%),
+because LP encoding flattens the regular pattern — deterministic
+communication is "automatically excluded" from the record.
+"""
+
+from repro.core import Method, aggregate_reports, compare_methods, permutation_percentage, matched_events
+from repro.analysis import human_bytes, render_table
+from benchmarks.conftest import emit
+
+
+def test_fig17_hidden_determinism(benchmark, jacobi_run, jacobi_config):
+    reports = [
+        compare_methods(jacobi_run.outcomes[r]) for r in range(jacobi_run.nprocs)
+    ]
+    agg = aggregate_reports(reports)
+    benchmark(compare_methods, jacobi_run.outcomes[1])
+
+    ratio = agg.sizes[Method.CDC] / agg.sizes[Method.GZIP]
+    halo = [o for o in jacobi_run.outcomes[1] if o.callsite == "jacobi:halo"]
+    perm = permutation_percentage(matched_events(halo))
+    emit(
+        "fig17_hidden_determinism",
+        render_table(
+            f"Figure 17 — compression size on hidden-deterministic "
+            f"communication (Jacobi, {jacobi_config.iterations} iterations, "
+            f"{jacobi_run.nprocs} processes)",
+            ["method", "size", "bytes/event"],
+            [
+                (Method.GZIP.value, human_bytes(agg.sizes[Method.GZIP]),
+                 f"{agg.bytes_per_event(Method.GZIP):.3f}"),
+                (Method.CDC.value, human_bytes(agg.sizes[Method.CDC]),
+                 f"{agg.bytes_per_event(Method.CDC):.3f}"),
+            ],
+            note=(
+                f"CDC/gzip = {100 * ratio:.1f}% (paper: 2.2%); "
+                f"rank-1 halo-exchange permutation percentage: {100 * perm:.2f}%"
+            ),
+        ),
+    )
+
+    # boundary ranks see a perfectly ordered record; interior ranks may
+    # carry a *regular* (LP-flattened) permutation from neighbor clock
+    # drift — the storage claims are what the figure is about:
+    assert perm < 0.05  # rank 1 = near-boundary: ordered
+    # CDC stores a small fraction of gzip's bytes
+    assert ratio < 0.15
+    # and nearly nothing per event
+    assert agg.bytes_per_event(Method.CDC) < 0.5

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Hidden determinism: wildcard receives that never vary (Section 6.3).
+
+The Jacobi solver uses MPI_ANY_SOURCE halo receives, so a record-and-replay
+tool *must* record them — yet the actual order never changes. This example
+shows CDC charging almost nothing for such traffic while gzip pays full
+price, reproducing Figure 17's point at laptop scale.
+
+Run:  python examples/hidden_determinism.py
+"""
+
+from repro.analysis import human_bytes, render_table
+from repro.core import (
+    Method,
+    aggregate_reports,
+    compare_methods,
+    matched_events,
+    permutation_percentage,
+)
+from repro.replay import RecordSession
+from repro.workloads import jacobi
+
+
+def main() -> None:
+    cfg = jacobi.JacobiConfig(
+        nprocs=16, cells_per_rank=32, iterations=400, residual_interval=100
+    )
+    program = jacobi.build_program(cfg)
+
+    print("=== hidden determinism: same results under any timing ===")
+    runs = [
+        RecordSession(program, nprocs=cfg.nprocs, network_seed=s, keep_outcomes=True).run()
+        for s in (1, 99)
+    ]
+    r0, r1 = (run.app_results[0]["checksum"] for run in runs)
+    print(f"checksum (seed 1)  = {r0!r}")
+    print(f"checksum (seed 99) = {r1!r}")
+    print(f"identical: {r0 == r1} — the communication only *looks* non-deterministic\n")
+
+    record = runs[0]
+    agg = aggregate_reports(
+        [compare_methods(record.outcomes[r]) for r in range(cfg.nprocs)]
+    )
+    print(
+        render_table(
+            f"record sizes ({record.total_receive_events():,} recorded receives)",
+            ["method", "size", "bytes/event"],
+            [
+                (
+                    m.value,
+                    human_bytes(agg.sizes[m]),
+                    f"{agg.bytes_per_event(m):.3f}",
+                )
+                for m in (Method.RAW, Method.GZIP, Method.CDC)
+            ],
+            note=(
+                f"CDC stores {100 * agg.sizes[Method.CDC] / agg.sizes[Method.GZIP]:.1f}% "
+                "of gzip's bytes (paper: 2.2%) — deterministic traffic is "
+                "'automatically excluded'"
+            ),
+        )
+    )
+
+    halo = [o for o in record.outcomes[1] if o.callsite == "jacobi:halo"]
+    print(
+        f"\nrank-1 halo receive order vs reference order: "
+        f"{100 * permutation_percentage(matched_events(halo)):.2f}% permuted"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Debugging a non-deterministic Monte Carlo code with CDC (Section 2.1).
+
+Reenacts the paper's motivating story: a domain-decomposed particle
+transport code whose global tallies differ run to run because receive
+orders differ and double-precision addition is not associative. With CDC:
+
+1. run the simulation under recording (cheap: ~1 byte/event);
+2. the "bug" manifests as a particular tally — reproduce it at will by
+   replaying, regardless of network timing;
+3. inspect the record: compression statistics, permutation percentages,
+   per-node storage footprint.
+
+Run:  python examples/mcb_debugging.py
+"""
+
+import statistics
+
+from repro.analysis import permutation_histogram, render_histogram, render_table
+from repro.core import Method, aggregate_reports, compare_methods
+from repro.replay import RecordSession, ReplaySession, assert_replay_matches
+from repro.workloads import mcb
+
+
+def main() -> None:
+    cfg = mcb.MCBConfig(nprocs=16, particles_per_rank=80, seed=42)
+    program = mcb.build_program(cfg)
+
+    print("=== the reproducibility problem ===")
+    tallies = {}
+    for seed in (1, 2, 3):
+        run = RecordSession(program, nprocs=cfg.nprocs, network_seed=seed).run()
+        tallies[seed] = run.app_results[0]["tally"]
+        print(f"network seed {seed}: rank-0 tally = {tallies[seed]!r}")
+    print(f"all equal? {len(set(tallies.values())) == 1}  — the Section 2.1 pain\n")
+
+    print("=== record once (seed 1) ===")
+    record = RecordSession(
+        program, nprocs=cfg.nprocs, network_seed=1, keep_outcomes=True
+    ).run()
+    agg = aggregate_reports(
+        [compare_methods(record.outcomes[r]) for r in range(cfg.nprocs)]
+    )
+    print(
+        render_table(
+            "record footprint",
+            ["method", "bytes", "bytes/event"],
+            [
+                (m.value, agg.sizes[m], f"{agg.bytes_per_event(m):.3f}")
+                for m in (Method.RAW, Method.GZIP, Method.CDC)
+            ],
+            note=f"CDC beats gzip {agg.rate_vs_gzip():.1f}x on this run",
+        )
+    )
+
+    print("\n=== replay the buggy run deterministically ===")
+    for seed in (7, 8):
+        replayed = ReplaySession(program, record.archive, network_seed=seed).run()
+        assert_replay_matches(record, replayed)
+        print(
+            f"replay under network seed {seed}: tally = "
+            f"{replayed.app_results[0]['tally']!r} (bit-identical to record)"
+        )
+
+    print("\n=== why CDC compresses: order similarity ===")
+    hist = permutation_histogram(record.outcomes)
+    print(render_histogram("permutation percentage per rank", hist.bins()))
+    print(
+        f"mean {100 * hist.mean:.1f}% | median "
+        f"{100 * statistics.median(hist.percentages):.1f}% "
+        "(paper reports ~30% for MCB)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP
+660 editable installs (which build an editable wheel) fail. Keeping a
+``setup.py`` and omitting ``[build-system]`` from pyproject.toml lets
+``pip install -e .`` take the classic ``setup.py develop`` path, which works
+fully offline. All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

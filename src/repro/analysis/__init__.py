@@ -1,0 +1,61 @@
+"""Analyses backing the paper's evaluation figures."""
+
+from repro.analysis.clock_study import (
+    ClockStudyController,
+    ClockStudyResult,
+    run_clock_study,
+)
+from repro.analysis.estimator import (
+    DEFAULT_PROCS_PER_NODE,
+    GrowthCurve,
+    MethodRate,
+    budget_comparison,
+)
+from repro.analysis.inspector import (
+    CallsiteProfile,
+    ChunkStats,
+    chunk_stats,
+    iter_chunk_stats,
+    profile_callsites,
+)
+from repro.analysis.report import human_bytes, render_histogram, render_table
+from repro.analysis.seed_search import SeedSweep, distinct_outcomes, sweep_seeds
+from repro.analysis.size_model import (
+    SizeBreakdown,
+    archive_breakdown,
+    chunk_breakdown,
+)
+from repro.analysis.similarity import (
+    ClockSeries,
+    PermutationHistogram,
+    clock_series,
+    permutation_histogram,
+)
+
+__all__ = [
+    "CallsiteProfile",
+    "ChunkStats",
+    "ClockSeries",
+    "ClockStudyController",
+    "ClockStudyResult",
+    "DEFAULT_PROCS_PER_NODE",
+    "GrowthCurve",
+    "MethodRate",
+    "PermutationHistogram",
+    "SeedSweep",
+    "SizeBreakdown",
+    "archive_breakdown",
+    "budget_comparison",
+    "chunk_breakdown",
+    "chunk_stats",
+    "clock_series",
+    "distinct_outcomes",
+    "human_bytes",
+    "iter_chunk_stats",
+    "permutation_histogram",
+    "profile_callsites",
+    "render_histogram",
+    "render_table",
+    "run_clock_study",
+    "sweep_seeds",
+]

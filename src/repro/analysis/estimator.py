@@ -1,0 +1,83 @@
+"""Per-node record-size growth estimates — Figure 15.
+
+The paper extrapolates measured per-event record sizes to long simulations:
+``size(t) = bytes_per_event * events_per_second_per_process * procs_per_node
+* t``, for gzip and CDC, at communication intensities ×1, ×1.5 and ×2. The
+punchline: with a 500 MB node-local budget, gzip records ~5 hours of MCB
+while CDC records the full 24-hour run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Catalyst runs 24 ranks per node (Table 1).
+DEFAULT_PROCS_PER_NODE = 24
+
+#: The paper's measured MCB event-production rate (Section 6.2):
+#: 258 receive events per second per process. Our simulator's virtual-time
+#: rates are rescaled (compute costs are compressed so runs finish in
+#: milliseconds of virtual time), so wall-clock extrapolations anchor on
+#: this measured rate; comm-intensity variants scale it by the *relative*
+#: event rates measured in simulation.
+PAPER_EVENTS_PER_SECOND = 258.0
+
+
+@dataclass(frozen=True)
+class MethodRate:
+    """Measured per-method storage rate for one workload configuration."""
+
+    method: str
+    bytes_per_event: float
+    #: receive events per second per process, from the measured run.
+    events_per_second: float
+    comm_intensity: float = 1.0
+
+    @property
+    def bytes_per_second_per_process(self) -> float:
+        return self.bytes_per_event * self.events_per_second
+
+
+@dataclass(frozen=True)
+class GrowthCurve:
+    """One Figure 15 line: per-node record size vs simulation hours."""
+
+    rate: MethodRate
+    procs_per_node: int = DEFAULT_PROCS_PER_NODE
+
+    def bytes_at(self, hours: float) -> float:
+        return (
+            self.rate.bytes_per_second_per_process
+            * self.procs_per_node
+            * hours
+            * 3600.0
+        )
+
+    def mb_at(self, hours: float) -> float:
+        return self.bytes_at(hours) / 1e6
+
+    def hours_until(self, budget_bytes: float) -> float:
+        """Simulation time until the node-local budget fills up."""
+        rate = self.rate.bytes_per_second_per_process * self.procs_per_node
+        if rate <= 0:
+            return float("inf")
+        return budget_bytes / rate / 3600.0
+
+    def series(self, hours: Sequence[float]) -> list[tuple[float, float]]:
+        """(hours, MB/node) pairs — a printable Figure 15 line."""
+        return [(h, self.mb_at(h)) for h in hours]
+
+
+def budget_comparison(
+    curves: Sequence[GrowthCurve], budget_bytes: float = 500e6
+) -> dict[str, float]:
+    """Hours of recording a node-local budget affords per curve.
+
+    The paper's example: 500 MB holds ~5 h of gzip-recorded MCB but > 24 h
+    of CDC-recorded MCB.
+    """
+    return {
+        f"{c.rate.method} x{c.rate.comm_intensity:g}": c.hours_until(budget_bytes)
+        for c in curves
+    }

@@ -1,0 +1,73 @@
+"""Order-similarity analyses: Figures 1 and 14.
+
+Figure 1 plots the piggybacked Lamport clocks of rank 0's receives in
+arrival sequence and observes they are close to monotone — the empirical
+foundation of CDC. Figure 14 histograms the per-rank *permutation
+percentage* ``Np / N`` (moved events over total events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.events import MFOutcome
+from repro.core.metrics import matched_events, monotonic_fraction, permutation_percentage
+
+
+@dataclass(frozen=True)
+class ClockSeries:
+    """The Figure 1 series for one rank: clocks in observed receive order."""
+
+    rank: int
+    clocks: tuple[int, ...]
+
+    @property
+    def monotone_fraction(self) -> float:
+        return monotonic_fraction(self.clocks)
+
+    def inversions(self) -> int:
+        """Number of adjacent receive pairs whose clocks decrease."""
+        return sum(1 for a, b in zip(self.clocks, self.clocks[1:]) if a > b)
+
+
+def clock_series(
+    outcomes: Sequence[MFOutcome], rank: int, callsite: str | None = None
+) -> ClockSeries:
+    """Extract the Figure 1 series from one rank's outcome stream."""
+    events = matched_events(
+        o for o in outcomes if callsite is None or o.callsite == callsite
+    )
+    return ClockSeries(rank, tuple(ev.clock for ev in events))
+
+
+@dataclass(frozen=True)
+class PermutationHistogram:
+    """The Figure 14 histogram: per-rank permutation percentages."""
+
+    percentages: tuple[float, ...]  # one per rank, in [0, 1]
+    bin_width: float = 0.05
+
+    @property
+    def mean(self) -> float:
+        return sum(self.percentages) / len(self.percentages) if self.percentages else 0.0
+
+    def bins(self) -> list[tuple[float, int]]:
+        """(bin lower edge, frequency) pairs covering [0, 1]."""
+        nbins = round(1.0 / self.bin_width)
+        counts = [0] * (nbins + 1)
+        for p in self.percentages:
+            idx = min(int(p / self.bin_width), nbins)
+            counts[idx] += 1
+        return [(i * self.bin_width, c) for i, c in enumerate(counts)]
+
+
+def permutation_histogram(
+    outcomes_by_rank: Mapping[int, Sequence[MFOutcome]], bin_width: float = 0.05
+) -> PermutationHistogram:
+    """Compute the Figure 14 histogram over all ranks of a run."""
+    percentages = tuple(
+        permutation_percentage(matched_events(outcomes_by_rank[r]))
+        for r in sorted(outcomes_by_rank)
+    )
+    return PermutationHistogram(percentages, bin_width)

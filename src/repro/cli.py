@@ -1,0 +1,296 @@
+"""Command-line interface: record, replay, inspect, compare.
+
+::
+
+    python -m repro record   --workload mcb --nprocs 16 --network-seed 1 \
+                             --out /tmp/rec -p particles_per_rank=100
+    python -m repro replay   --record /tmp/rec --network-seed 7
+    python -m repro inspect  --record /tmp/rec
+    python -m repro compare  --workload mcb --nprocs 16 --network-seed 1
+
+The record directory is self-describing (workload name and parameters ride
+in the manifest), so ``replay`` needs nothing but the directory and a new
+network seed — the tool-flow of the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis import human_bytes, render_table
+from repro.core import ALL_METHODS, aggregate_reports, compare_methods
+from repro.replay.chunk_store import RecordArchive, summarize
+from repro.replay.session import (
+    RecordSession,
+    ReplaySession,
+    assert_replay_matches,
+)
+from repro.workloads import REGISTRY, make_workload
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, str]:
+    params = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"bad -p/--param {pair!r}; expected key=value")
+        key, value = pair.split("=", 1)
+        params[key] = value
+    return params
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload", choices=sorted(REGISTRY), default="mcb",
+        help="registered workload to run",
+    )
+    parser.add_argument("--nprocs", type=int, default=16, help="rank count")
+    parser.add_argument(
+        "--network-seed", type=int, default=1,
+        help="seed of the network-noise RNG (the source of non-determinism)",
+    )
+    parser.add_argument(
+        "-p", "--param", action="append", default=[], metavar="KEY=VALUE",
+        help="workload config override (repeatable)",
+    )
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    program, config = make_workload(args.workload, args.nprocs, **params)
+    session = RecordSession(
+        program,
+        nprocs=args.nprocs,
+        network_seed=args.network_seed,
+        chunk_events=args.chunk_events,
+        replay_assist=not args.no_assist,
+    )
+    result = session.run()
+    archive = result.archive
+    archive.meta.update(
+        {
+            "workload": args.workload,
+            "nprocs": args.nprocs,
+            "network_seed": args.network_seed,
+            "params": params,
+        }
+    )
+    archive.save(args.out)
+    if args.trace_out:
+        from repro.core.trace_io import save_trace
+
+        lines = save_trace(result.outcomes, args.trace_out)
+        print(f"trace: {args.trace_out} ({lines:,} outcome lines)")
+    events = archive.total_events()
+    size = archive.total_bytes()
+    print(f"recorded {events:,} receive events from {args.nprocs} ranks")
+    print(f"archive: {args.out} ({human_bytes(size)}, "
+          f"{size / max(1, events):.3f} bytes/event)")
+    print(f"virtual time: {result.stats.virtual_time:.6f} s")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    archive = RecordArchive.load(args.record)
+    meta = archive.meta
+    if "workload" not in meta:
+        raise SystemExit(
+            "record has no workload metadata; re-record with this CLI"
+        )
+    program, _ = make_workload(
+        str(meta["workload"]), int(meta["nprocs"]), **dict(meta.get("params", {}))
+    )
+    result = ReplaySession(program, archive, network_seed=args.network_seed).run()
+    print(
+        f"replayed {result.total_receive_events():,} receive events on "
+        f"{archive.nprocs} ranks under network seed {args.network_seed}"
+    )
+    if args.verify:
+        reference = RecordSession(
+            program,
+            nprocs=int(meta["nprocs"]),
+            network_seed=int(meta["network_seed"]),
+        ).run()
+        assert_replay_matches(reference, result)
+        print("verified: outcome streams, clocks and results match the record ✓")
+    for rank in sorted(result.app_results)[: args.show_results]:
+        print(f"  rank {rank}: {result.app_results[rank]!r}")
+    return 0
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    archive = RecordArchive.load(args.record)
+    info = summarize(archive)
+    print(
+        render_table(
+            f"record archive {args.record}",
+            ["property", "value"],
+            [
+                ("ranks", info["nprocs"]),
+                ("receive events", info["total_events"]),
+                ("stored bytes", human_bytes(info["total_bytes"])),
+                ("bytes/event", f"{info['bytes_per_event']:.3f}"),
+                ("callsites", ", ".join(info["callsites"])),
+                ("workload", archive.meta.get("workload", "?")),
+            ],
+        )
+    )
+    from repro.analysis.inspector import iter_chunk_stats, profile_callsites
+
+    profiles = profile_callsites(archive)
+    print()
+    print(
+        render_table(
+            "callsite profiles (all ranks)",
+            ["callsite", "ranks", "chunks", "events", "permuted", "polls/recv"],
+            [
+                (
+                    p.callsite,
+                    p.ranks,
+                    p.chunks,
+                    p.events,
+                    f"{100 * p.permutation_percentage:.1f}%",
+                    f"{p.polling_ratio:.2f}",
+                )
+                for p in profiles
+            ],
+        )
+    )
+    rows = [
+        (
+            s.rank,
+            s.callsite,
+            s.index,
+            s.events,
+            f"{100 * s.permutation_percentage:.1f}%",
+            s.unmatched_tests,
+        )
+        for s in iter_chunk_stats(archive)
+        if s.rank < args.ranks
+    ]
+    print()
+    print(
+        render_table(
+            f"per-chunk breakdown (first {args.ranks} ranks)",
+            ["rank", "callsite", "chunk", "events", "permuted", "unmatched"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_transcode(args: argparse.Namespace) -> int:
+    """Compress a portable JSON-lines trace with every Figure 13 method."""
+    from repro.core.trace_io import read_trace
+
+    outcomes = read_trace(args.trace)
+    reports = [compare_methods(stream) for stream in outcomes.values() if stream]
+    agg = aggregate_reports(reports)
+    print(
+        render_table(
+            f"compression methods on trace {args.trace} "
+            f"({agg.num_receive_events:,} events, {len(outcomes)} ranks)",
+            ["method", "size", "bytes/event", "rate vs raw"],
+            [
+                (
+                    m.value,
+                    human_bytes(agg.sizes[m]),
+                    f"{agg.bytes_per_event(m):.3f}",
+                    f"{agg.compression_rate(m):.1f}x",
+                )
+                for m in ALL_METHODS
+            ],
+            note=f"CDC vs gzip: {agg.rate_vs_gzip():.2f}x",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    params = _parse_params(args.param)
+    program, _ = make_workload(args.workload, args.nprocs, **params)
+    run = RecordSession(
+        program, nprocs=args.nprocs, network_seed=args.network_seed
+    ).run()
+    agg = aggregate_reports(
+        [compare_methods(run.outcomes[r]) for r in range(args.nprocs)]
+    )
+    print(
+        render_table(
+            f"compression methods on {args.workload} at {args.nprocs} ranks "
+            f"({agg.num_receive_events:,} events)",
+            ["method", "size", "bytes/event", "rate vs raw"],
+            [
+                (
+                    m.value,
+                    human_bytes(agg.sizes[m]),
+                    f"{agg.bytes_per_event(m):.3f}",
+                    f"{agg.compression_rate(m):.1f}x",
+                )
+                for m in ALL_METHODS
+            ],
+            note=f"CDC vs gzip: {agg.rate_vs_gzip():.2f}x",
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Clock Delta Compression record-and-replay (SC'15 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_record = sub.add_parser("record", help="run a workload under CDC recording")
+    _add_workload_args(p_record)
+    p_record.add_argument("--out", required=True, help="archive output directory")
+    p_record.add_argument("--chunk-events", type=int, default=1024)
+    p_record.add_argument(
+        "--no-assist", action="store_true",
+        help="store the paper-exact format (no replay-assist column)",
+    )
+    p_record.add_argument(
+        "--trace-out", metavar="FILE",
+        help="additionally export the raw outcome trace as JSON lines",
+    )
+    p_record.set_defaults(func=cmd_record)
+
+    p_replay = sub.add_parser("replay", help="replay a recorded archive")
+    p_replay.add_argument("--record", required=True, help="archive directory")
+    p_replay.add_argument("--network-seed", type=int, default=2)
+    p_replay.add_argument(
+        "--verify", action="store_true",
+        help="re-record under the original seed and compare outcome streams",
+    )
+    p_replay.add_argument("--show-results", type=int, default=3, metavar="N")
+    p_replay.set_defaults(func=cmd_replay)
+
+    p_inspect = sub.add_parser("inspect", help="summarize a recorded archive")
+    p_inspect.add_argument("--record", required=True)
+    p_inspect.add_argument("--ranks", type=int, default=4, metavar="N")
+    p_inspect.set_defaults(func=cmd_inspect)
+
+    p_compare = sub.add_parser(
+        "compare", help="run the Figure 13 method comparison on a workload"
+    )
+    _add_workload_args(p_compare)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_transcode = sub.add_parser(
+        "transcode", help="compress a JSON-lines trace with every method"
+    )
+    p_transcode.add_argument("--trace", required=True, help="trace file (JSON lines)")
+    p_transcode.set_defaults(func=cmd_transcode)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""The five compression methods compared in Figure 13.
+
+Given a rank's MF outcome stream (observation order, callsite-labelled),
+each method produces the bytes that would reach storage:
+
+* ``RAW``            — Figure 4 rows bit-packed at 162 bits/row, no gzip
+                       ("w/o Compression").
+* ``GZIP``           — zlib over the same raw byte stream.
+* ``CDC_RE``         — redundancy elimination only (Section 3.2), merged
+                       callsites, zlib.
+* ``CDC_RE_PE_LPE``  — + permutation encoding and LP encoding
+                       (Sections 3.3–3.4), merged callsites, zlib.
+* ``CDC``            — the complete method: + per-callsite MF
+                       identification (Section 4.4), zlib.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.events import MFOutcome, outcomes_to_rows
+from repro.core.formats import (
+    serialize_cdc_chunks,
+    serialize_raw_rows,
+    serialize_re_tables,
+)
+from repro.core.pipeline import encode_chunk
+from repro.core.record_table import build_tables
+
+#: Callsite label used when MF identification is disabled (merged tables).
+MERGED_CALLSITE = "<merged>"
+
+#: Default chunk size (matched events per chunk) for the encoders.
+DEFAULT_CHUNK_EVENTS = 4096
+
+#: zlib level used everywhere (gzip default).
+ZLIB_LEVEL = 6
+
+
+class Method(enum.Enum):
+    """Record compression methods of Figure 13."""
+
+    RAW = "w/o Compression"
+    GZIP = "gzip"
+    CDC_RE = "CDC (RE)"
+    CDC_RE_PE_LPE = "CDC (RE + PE + LPE)"
+    CDC = "CDC"
+
+
+ALL_METHODS: tuple[Method, ...] = tuple(Method)
+
+
+def _merge_callsites(outcomes: Sequence[MFOutcome]) -> list[MFOutcome]:
+    """Relabel an outcome stream onto a single merged callsite."""
+    return [
+        MFOutcome(MERGED_CALLSITE, o.kind, o.matched)
+        for o in outcomes
+    ]
+
+
+def compress(
+    outcomes: Sequence[MFOutcome],
+    method: Method,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+) -> bytes:
+    """Produce the storage bytes for one rank's outcome stream."""
+    if method is Method.RAW:
+        return serialize_raw_rows(list(outcomes_to_rows(outcomes)))
+    if method is Method.GZIP:
+        return zlib.compress(
+            serialize_raw_rows(list(outcomes_to_rows(outcomes))), ZLIB_LEVEL
+        )
+    if method is Method.CDC_RE:
+        tables = build_tables(_merge_callsites(outcomes), chunk_events)
+        flat = [t for ts in tables.values() for t in ts]
+        return zlib.compress(serialize_re_tables(flat), ZLIB_LEVEL)
+    if method is Method.CDC_RE_PE_LPE:
+        tables = build_tables(_merge_callsites(outcomes), chunk_events)
+        chunks = [encode_chunk(t) for ts in tables.values() for t in ts]
+        return zlib.compress(serialize_cdc_chunks(chunks), ZLIB_LEVEL)
+    if method is Method.CDC:
+        tables = build_tables(list(outcomes), chunk_events)
+        chunks = [encode_chunk(t) for ts in tables.values() for t in ts]
+        return zlib.compress(serialize_cdc_chunks(chunks), ZLIB_LEVEL)
+    raise ValueError(f"unknown method {method!r}")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class CompressionReport:
+    """Sizes for one rank (or one aggregated run) across methods."""
+
+    num_receive_events: int
+    sizes: Mapping[Method, int]
+
+    def bytes_per_event(self, method: Method) -> float:
+        """Average storage bytes per matched receive (0.51 B for CDC in §6.1)."""
+        if self.num_receive_events == 0:
+            return 0.0
+        return self.sizes[method] / self.num_receive_events
+
+    def compression_rate(self, method: Method, baseline: Method = Method.RAW) -> float:
+        """``size(baseline) / size(method)`` — the paper's compression rate."""
+        size = self.sizes[method]
+        if size == 0:
+            return float("inf")
+        return self.sizes[baseline] / size
+
+    def rate_vs_gzip(self, method: Method = Method.CDC) -> float:
+        """CDC's advantage over gzip (5.7x in the paper's MCB run)."""
+        return self.sizes[Method.GZIP] / max(self.sizes[method], 1)
+
+
+def compare_methods(
+    outcomes: Sequence[MFOutcome],
+    methods: Sequence[Method] = ALL_METHODS,
+    chunk_events: int = DEFAULT_CHUNK_EVENTS,
+) -> CompressionReport:
+    """Run every method over one outcome stream and report sizes."""
+    events = sum(len(o.matched) for o in outcomes)
+    sizes = {m: len(compress(outcomes, m, chunk_events)) for m in methods}
+    return CompressionReport(events, sizes)
+
+
+def aggregate_reports(reports: Sequence[CompressionReport]) -> CompressionReport:
+    """Sum per-rank reports into a run-total report (Figure 13 is a total)."""
+    if not reports:
+        return CompressionReport(0, {m: 0 for m in ALL_METHODS})
+    methods = reports[0].sizes.keys()
+    return CompressionReport(
+        sum(r.num_receive_events for r in reports),
+        {m: sum(r.sizes[m] for r in reports) for m in methods},
+    )

@@ -1,0 +1,176 @@
+"""Edit-distance machinery for permutation encoding (Section 4.1).
+
+CDC compares an *observed* receive order ``B`` against a *reference* order
+``P``. Because ``B`` is a permutation of ``P`` and ``P`` can be relabeled to
+``0..N-1``, the generic ``O(N^2)`` edit-distance matrix of Figure 10
+degenerates: the "backslash" match cells are simply ``j = b_i``, and the
+minimal insert/delete edit script keeps exactly a longest increasing
+subsequence (LIS) of ``B`` and moves everything else. Hence:
+
+    D = 2 * (N - len(LIS(B)))
+
+The paper reaches ``O(N + D)`` by chasing Manhattan-shortest paths between
+consecutive backslashes; we use patience sorting (``O(N log N)`` worst case,
+and ``O(N)``-ish when ``B`` is nearly sorted because the rightmost-pile
+binary search degenerates), plus a textbook Myers diff used by the tests to
+cross-validate the distance on arbitrary inputs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.errors import EncodingError
+
+
+def longest_increasing_subsequence(seq: Sequence[int]) -> list[int]:
+    """Indices (into ``seq``) of one longest strictly-increasing subsequence.
+
+    Patience sorting with predecessor links. Deterministic: among equal
+    length solutions it returns the one patience sorting canonically yields
+    (smallest tail values).
+    """
+    n = len(seq)
+    if n == 0:
+        return []
+    tails: list[int] = []  # tails[k] = index of smallest tail of an IS of length k+1
+    tail_values: list[int] = []
+    prev: list[int] = [-1] * n
+    for i, value in enumerate(seq):
+        # strictly increasing: replace the first tail >= value
+        k = bisect_right(tail_values, value - 1)
+        if k == len(tails):
+            tails.append(i)
+            tail_values.append(value)
+        else:
+            tails[k] = i
+            tail_values[k] = value
+        prev[i] = tails[k - 1] if k > 0 else -1
+    # reconstruct
+    out: list[int] = []
+    i = tails[-1]
+    while i != -1:
+        out.append(i)
+        i = prev[i]
+    out.reverse()
+    return out
+
+
+def lis_length(seq: Sequence[int]) -> int:
+    """Length of the longest strictly-increasing subsequence of ``seq``."""
+    tail_values: list[int] = []
+    for value in seq:
+        k = bisect_right(tail_values, value - 1)
+        if k == len(tail_values):
+            tail_values.append(value)
+        else:
+            tail_values[k] = value
+    return len(tail_values)
+
+
+def validate_permutation(b: Sequence[int]) -> None:
+    """Raise :class:`EncodingError` unless ``b`` is a permutation of 0..N-1."""
+    n = len(b)
+    seen = bytearray(n)
+    for x in b:
+        if not isinstance(x, int) or x < 0 or x >= n or seen[x]:
+            raise EncodingError(f"not a permutation of 0..{n - 1}: {list(b)!r}")
+        seen[x] = 1
+
+
+def permutation_edit_distance(b: Sequence[int]) -> int:
+    """Insert/delete edit distance between ``b`` and the identity 0..N-1.
+
+    Equals ``2 * (number of moved elements)`` in CDC's decomposition — every
+    permuted element contributes one deletion and one insertion (the paper's
+    "< x / > x" pair observation).
+    """
+    validate_permutation(b)
+    return 2 * (len(b) - lis_length(b))
+
+
+def stable_and_moved(b: Sequence[int]) -> tuple[list[int], list[int]]:
+    """Split the permutation ``b`` into (stable values, moved values).
+
+    Stable values are a canonical LIS of ``b`` — the receives that already
+    follow the reference order. Moved values are everything else, returned
+    sorted ascending (i.e. by reference index), the order in which the
+    permutation-difference table records them (Figure 7).
+    """
+    validate_permutation(b)
+    keep = longest_increasing_subsequence(b)
+    stable = [b[i] for i in keep]
+    stable_set = set(stable)
+    moved = sorted(x for x in b if x not in stable_set)
+    return stable, moved
+
+
+# ---------------------------------------------------------------------------
+# Generic Myers diff (test oracle)
+# ---------------------------------------------------------------------------
+
+
+def myers_edit_distance(a: Sequence, b: Sequence) -> int:
+    """Insert/delete edit distance between arbitrary sequences (Myers O(ND)).
+
+    Used as an oracle: for a permutation ``b`` vs the identity this must
+    agree with :func:`permutation_edit_distance`.
+    """
+    n, m = len(a), len(b)
+    if n == 0 or m == 0:
+        return n + m
+    max_d = n + m
+    # v[k] = furthest x on diagonal k (offset by max_d)
+    v = [0] * (2 * max_d + 1)
+    for d in range(max_d + 1):
+        for k in range(-d, d + 1, 2):
+            if k == -d or (k != d and v[max_d + k - 1] < v[max_d + k + 1]):
+                x = v[max_d + k + 1]  # move down (insert from b)
+            else:
+                x = v[max_d + k - 1] + 1  # move right (delete from a)
+            y = x - k
+            while x < n and y < m and a[x] == b[y]:
+                x += 1
+                y += 1
+            v[max_d + k] = x
+            if x >= n and y >= m:
+                return d
+    raise AssertionError("unreachable: Myers diff must terminate")  # pragma: no cover
+
+
+def myers_edit_script(a: Sequence, b: Sequence) -> list[tuple[str, object]]:
+    """Full insert/delete edit script ('=', '<' delete, '>' insert).
+
+    A simple LCS-DP implementation (O(N*M)); only used on small inputs by
+    tests and the worked-example benchmark, where clarity beats speed.
+    """
+    n, m = len(a), len(b)
+    # lcs[i][j] = LCS length of a[i:], b[j:]
+    lcs = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n - 1, -1, -1):
+        row = lcs[i]
+        nxt = lcs[i + 1]
+        for j in range(m - 1, -1, -1):
+            if a[i] == b[j]:
+                row[j] = nxt[j + 1] + 1
+            else:
+                row[j] = max(nxt[j], row[j + 1])
+    script: list[tuple[str, object]] = []
+    i = j = 0
+    while i < n and j < m:
+        if a[i] == b[j]:
+            script.append(("=", a[i]))
+            i += 1
+            j += 1
+        elif lcs[i + 1][j] >= lcs[i][j + 1]:
+            script.append(("<", a[i]))
+            i += 1
+        else:
+            script.append((">", b[j]))
+            j += 1
+    for k in range(i, n):
+        script.append(("<", a[k]))
+    for k in range(j, m):
+        script.append((">", b[k]))
+    return script

@@ -1,0 +1,321 @@
+"""Binary record formats: raw baseline, RE-only, and full CDC chunks.
+
+Three on-storage layouts back the Figure 13 comparison:
+
+* **Raw** (``w/o Compression``): the Figure 4 quintuple rows bit-packed at
+  the paper's field widths — count 64 b, flag 1 b, with_next 1 b, rank 32 b,
+  clock 64 b = 162 bits/row.
+* **RE**: the Figure 6 decomposition with the ``(rank, clock)`` identifier
+  columns still present, as varint arrays.
+* **CDC**: the Figure 8 format — permutation difference, with_next,
+  unmatched-test and epoch tables, with every monotone index column passed
+  through the Eq. 3 linear predictor before varint packing.
+
+All layouts are self-describing streams; gzip (zlib) is applied on top by
+:mod:`repro.core.compression` where the method calls for it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.epoch import EpochLine
+from repro.core.events import QuintupleRow, ReceiveEvent
+from repro.core.lp_encoding import lp_decode, lp_encode
+from repro.core.permutation import PermutationDiff
+from repro.core.pipeline import CDCChunk
+from repro.core.record_table import RecordTable
+from repro.core.varint import (
+    decode_svarint_array,
+    decode_uvarint,
+    decode_uvarint_array,
+    encode_svarint_array,
+    encode_uvarint,
+    encode_uvarint_array,
+)
+from repro.errors import RecordFormatError
+
+RAW_MAGIC = b"CDR0"
+RE_MAGIC = b"CDR1"
+CDC_MAGIC = b"CDC1"
+
+#: Paper field widths for the raw quintuple (Section 6.1).
+COUNT_BITS = 64
+FLAG_BITS = 1
+WITH_NEXT_BITS = 1
+RANK_BITS = 32
+CLOCK_BITS = 64
+ROW_BITS = COUNT_BITS + FLAG_BITS + WITH_NEXT_BITS + RANK_BITS + CLOCK_BITS
+
+
+class BitWriter:
+    """Append-only MSB-first bit packer."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._bitpos = 0  # bits already used in the last byte
+
+    def write(self, value: int, bits: int) -> None:
+        if value < 0 or value >= (1 << bits):
+            raise ValueError(f"value {value} does not fit in {bits} bits")
+        for shift in range(bits - 1, -1, -1):
+            bit = (value >> shift) & 1
+            if self._bitpos == 0:
+                self._buf.append(0)
+            self._buf[-1] |= bit << (7 - self._bitpos)
+            self._bitpos = (self._bitpos + 1) % 8
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    @property
+    def bit_length(self) -> int:
+        return (len(self._buf) - 1) * 8 + (self._bitpos or 8) if self._buf else 0
+
+
+class BitReader:
+    """MSB-first bit reader matching :class:`BitWriter`."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # absolute bit position
+
+    def read(self, bits: int) -> int:
+        end = self._pos + bits
+        if end > len(self._data) * 8:
+            raise RecordFormatError("bit stream truncated")
+        value = 0
+        for p in range(self._pos, end):
+            byte = self._data[p // 8]
+            value = (value << 1) | ((byte >> (7 - p % 8)) & 1)
+        self._pos = end
+        return value
+
+
+# ---------------------------------------------------------------------------
+# Raw (Figure 4) format
+# ---------------------------------------------------------------------------
+
+
+def serialize_raw_rows(rows: Sequence[QuintupleRow]) -> bytes:
+    """Bit-pack quintuple rows at the paper's 162 bits/row."""
+    writer = BitWriter()
+    for row in rows:
+        writer.write(row.count, COUNT_BITS)
+        writer.write(int(row.flag), FLAG_BITS)
+        writer.write(int(bool(row.with_next)), WITH_NEXT_BITS)
+        writer.write(row.rank if row.rank is not None else 0, RANK_BITS)
+        writer.write(row.clock if row.clock is not None else 0, CLOCK_BITS)
+    header = bytearray(RAW_MAGIC)
+    encode_uvarint(len(rows), header)
+    return bytes(header) + writer.getvalue()
+
+
+def deserialize_raw_rows(data: bytes) -> list[QuintupleRow]:
+    """Inverse of :func:`serialize_raw_rows`."""
+    if data[:4] != RAW_MAGIC:
+        raise RecordFormatError("bad raw-record magic")
+    n, offset = decode_uvarint(data, 4)
+    reader = BitReader(data[offset:])
+    rows: list[QuintupleRow] = []
+    for _ in range(n):
+        count = reader.read(COUNT_BITS)
+        flag = bool(reader.read(FLAG_BITS))
+        with_next = bool(reader.read(WITH_NEXT_BITS))
+        rank = reader.read(RANK_BITS)
+        clock = reader.read(CLOCK_BITS)
+        if flag:
+            rows.append(QuintupleRow(count, True, with_next, rank, clock))
+        else:
+            rows.append(QuintupleRow(count, False, None, None, None))
+    return rows
+
+
+def raw_size_bits(rows: Sequence[QuintupleRow]) -> int:
+    """Exact payload size in bits (the paper's 162 * rows accounting)."""
+    return ROW_BITS * len(rows)
+
+
+# ---------------------------------------------------------------------------
+# RE (Figure 6, identifiers kept) format
+# ---------------------------------------------------------------------------
+
+
+def serialize_re_tables(tables: Sequence[RecordTable]) -> bytes:
+    """Serialize redundancy-eliminated tables, identifiers included."""
+    out = bytearray(RE_MAGIC)
+    callsites = sorted({t.callsite for t in tables})
+    _write_string_table(out, callsites)
+    cs_id = {c: i for i, c in enumerate(callsites)}
+    encode_uvarint(len(tables), out)
+    for t in tables:
+        encode_uvarint(cs_id[t.callsite], out)
+        out += encode_uvarint_array([ev.rank for ev in t.matched])
+        out += encode_svarint_array([ev.clock for ev in t.matched])
+        out += encode_uvarint_array(t.with_next_indices)
+        out += encode_uvarint_array([i for i, _ in t.unmatched_runs])
+        out += encode_uvarint_array([c for _, c in t.unmatched_runs])
+    return bytes(out)
+
+
+def deserialize_re_tables(data: bytes) -> list[RecordTable]:
+    """Inverse of :func:`serialize_re_tables`."""
+    if data[:4] != RE_MAGIC:
+        raise RecordFormatError("bad RE-record magic")
+    callsites, offset = _read_string_table(data, 4)
+    n, offset = decode_uvarint(data, offset)
+    tables: list[RecordTable] = []
+    for _ in range(n):
+        cs, offset = decode_uvarint(data, offset)
+        if cs >= len(callsites):
+            raise RecordFormatError(f"callsite id {cs} out of range")
+        ranks, offset = decode_uvarint_array(data, offset)
+        clocks, offset = decode_svarint_array(data, offset)
+        with_next, offset = decode_uvarint_array(data, offset)
+        u_idx, offset = decode_uvarint_array(data, offset)
+        u_cnt, offset = decode_uvarint_array(data, offset)
+        if len(ranks) != len(clocks) or len(u_idx) != len(u_cnt):
+            raise RecordFormatError("RE table column lengths disagree")
+        tables.append(
+            RecordTable(
+                callsites[cs],
+                tuple(ReceiveEvent(r, c) for r, c in zip(ranks, clocks)),
+                tuple(with_next),
+                tuple(zip(u_idx, u_cnt)),
+            )
+        )
+    return tables
+
+
+# ---------------------------------------------------------------------------
+# CDC (Figure 8) format
+# ---------------------------------------------------------------------------
+
+
+def serialize_cdc_chunks(chunks: Sequence[CDCChunk]) -> bytes:
+    """Serialize fully-encoded CDC chunks (LP-encoded index columns)."""
+    out = bytearray(CDC_MAGIC)
+    callsites = sorted({c.callsite for c in chunks})
+    _write_string_table(out, callsites)
+    cs_id = {c: i for i, c in enumerate(callsites)}
+    encode_uvarint(len(chunks), out)
+    for chunk in chunks:
+        encode_uvarint(cs_id[chunk.callsite], out)
+        encode_uvarint(chunk.num_events, out)
+        out += encode_svarint_array(lp_encode(chunk.diff.indices))
+        out += encode_svarint_array(chunk.diff.delays)
+        out += encode_svarint_array(lp_encode(chunk.with_next_indices))
+        out += encode_svarint_array(lp_encode([i for i, _ in chunk.unmatched_runs]))
+        out += encode_uvarint_array([c for _, c in chunk.unmatched_runs])
+        pairs = chunk.epoch.as_sorted_pairs()
+        counts_by_rank = dict(chunk.sender_counts)
+        mins_by_rank = dict(chunk.sender_min_clocks)
+        ranks = [r for r, _ in pairs]
+        if sorted(counts_by_rank) != ranks or sorted(mins_by_rank) != ranks:
+            raise RecordFormatError("epoch / count / min-clock ranks disagree")
+        out += encode_svarint_array(lp_encode(ranks))
+        out += encode_svarint_array([c for _, c in pairs])
+        out += encode_uvarint_array([counts_by_rank[r] for r in ranks])
+        # first clock per sender, stored as the (>= 0) gap below the epoch
+        # ceiling — zero for single-receive senders, tiny after varints.
+        out += encode_uvarint_array(
+            [clock - mins_by_rank[r] for r, clock in pairs]
+        )
+        # boundary exceptions (DESIGN.md §5.2): usually both arrays empty
+        out += encode_uvarint_array([r for r, _ in chunk.boundary_exceptions])
+        out += encode_svarint_array([c for _, c in chunk.boundary_exceptions])
+        # optional replay-assist sender column (DESIGN.md §5.6)
+        if chunk.sender_sequence is None:
+            out.append(0)
+        else:
+            out.append(1)
+            out += encode_uvarint_array(chunk.sender_sequence)
+    return bytes(out)
+
+
+def deserialize_cdc_chunks(data: bytes) -> list[CDCChunk]:
+    """Inverse of :func:`serialize_cdc_chunks`."""
+    if data[:4] != CDC_MAGIC:
+        raise RecordFormatError("bad CDC-record magic")
+    callsites, offset = _read_string_table(data, 4)
+    n, offset = decode_uvarint(data, offset)
+    chunks: list[CDCChunk] = []
+    for _ in range(n):
+        cs, offset = decode_uvarint(data, offset)
+        if cs >= len(callsites):
+            raise RecordFormatError(f"callsite id {cs} out of range")
+        num_events, offset = decode_uvarint(data, offset)
+        p_idx_lp, offset = decode_svarint_array(data, offset)
+        p_delay, offset = decode_svarint_array(data, offset)
+        w_idx_lp, offset = decode_svarint_array(data, offset)
+        u_idx_lp, offset = decode_svarint_array(data, offset)
+        u_cnt, offset = decode_uvarint_array(data, offset)
+        e_rank_lp, offset = decode_svarint_array(data, offset)
+        e_clock, offset = decode_svarint_array(data, offset)
+        e_count, offset = decode_uvarint_array(data, offset)
+        e_min_gap, offset = decode_uvarint_array(data, offset)
+        x_rank, offset = decode_uvarint_array(data, offset)
+        x_clock, offset = decode_svarint_array(data, offset)
+        if len(x_rank) != len(x_clock):
+            raise RecordFormatError("boundary-exception columns disagree")
+        if offset >= len(data):
+            raise RecordFormatError("chunk truncated before assist flag")
+        assist_flag = data[offset]
+        offset += 1
+        sender_sequence: tuple[int, ...] | None = None
+        if assist_flag == 1:
+            seq, offset = decode_uvarint_array(data, offset)
+            sender_sequence = tuple(seq)
+        elif assist_flag != 0:
+            raise RecordFormatError(f"bad assist flag {assist_flag}")
+        p_idx = lp_decode(p_idx_lp)
+        if len(p_idx) != len(p_delay):
+            raise RecordFormatError("permutation columns disagree")
+        u_idx = lp_decode(u_idx_lp)
+        if len(u_idx) != len(u_cnt):
+            raise RecordFormatError("unmatched columns disagree")
+        e_rank = lp_decode(e_rank_lp)
+        if not (len(e_rank) == len(e_clock) == len(e_count) == len(e_min_gap)):
+            raise RecordFormatError("epoch columns disagree")
+        chunks.append(
+            CDCChunk(
+                callsite=callsites[cs],
+                num_events=num_events,
+                diff=PermutationDiff(num_events, tuple(p_idx), tuple(p_delay)),
+                with_next_indices=tuple(lp_decode(w_idx_lp)),
+                unmatched_runs=tuple(zip(u_idx, u_cnt)),
+                epoch=EpochLine(dict(zip(e_rank, e_clock))),
+                sender_counts=tuple(zip(e_rank, e_count)),
+                sender_min_clocks=tuple(
+                    (r, c - g) for r, c, g in zip(e_rank, e_clock, e_min_gap)
+                ),
+                boundary_exceptions=tuple(zip(x_rank, x_clock)),
+                sender_sequence=sender_sequence,
+            )
+        )
+    return chunks
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+# ---------------------------------------------------------------------------
+
+
+def _write_string_table(out: bytearray, strings: Sequence[str]) -> None:
+    encode_uvarint(len(strings), out)
+    for s in strings:
+        raw = s.encode("utf-8")
+        encode_uvarint(len(raw), out)
+        out += raw
+
+
+def _read_string_table(data: bytes, offset: int) -> tuple[list[str], int]:
+    n, offset = decode_uvarint(data, offset)
+    strings: list[str] = []
+    for _ in range(n):
+        length, offset = decode_uvarint(data, offset)
+        if offset + length > len(data):
+            raise RecordFormatError("string table truncated")
+        strings.append(data[offset : offset + length].decode("utf-8"))
+        offset += length
+    return strings, offset

@@ -1,0 +1,107 @@
+"""Lossless linear predictive (LP) encoding — Section 3.4 of the paper.
+
+The index columns of CDC's tables grow monotonically, which plain gzip does
+not exploit well. LP encoding predicts each value from its predecessors and
+stores only the prediction error, which is near zero for regular sequences:
+
+    x_hat_n = sum_{i=1..p} a_i * x_{n-i}        (Eq. 1, with x_{n<=0} = 0)
+    e_n     = x_n - x_hat_n                     (Eq. 2)
+
+The paper fixes ``p = 2, (a1, a2) = (2, -1)`` — i.e. it assumes ``x_n`` lies
+on the line through ``x_{n-1}`` and ``x_{n-2}``:
+
+    e_n = x_n - 2*x_{n-1} + x_{n-2}             (Eq. 3)
+
+The text's worked example is reproduced in the tests:
+``[1, 2, 4, 6, 8, 12, 17] -> [1, 0, 1, 0, 0, 2, 1]``.
+
+This module provides the paper's order-2 predictor, a general integer
+predictor with arbitrary coefficients, and exact decoders for both.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+#: The paper's predictor coefficients (p=2).
+PAPER_COEFFS: tuple[int, ...] = (2, -1)
+
+
+def lp_encode(values: Sequence[int], coeffs: Sequence[int] = PAPER_COEFFS) -> list[int]:
+    """Encode ``values`` into prediction errors (lossless).
+
+    ``coeffs[i-1]`` is the ``a_i`` of Eq. 1. Out-of-range history terms are
+    taken as 0, so ``e_1 == x_1`` and the stream is self-starting.
+    """
+    errors: list[int] = []
+    history = list(values)
+    p = len(coeffs)
+    for n, x in enumerate(history):
+        prediction = 0
+        for i in range(1, p + 1):
+            k = n - i
+            if k >= 0:
+                prediction += coeffs[i - 1] * history[k]
+        errors.append(x - prediction)
+    return errors
+
+
+def lp_decode(errors: Sequence[int], coeffs: Sequence[int] = PAPER_COEFFS) -> list[int]:
+    """Recursively restore the original values from prediction errors."""
+    values: list[int] = []
+    p = len(coeffs)
+    for n, e in enumerate(errors):
+        prediction = 0
+        for i in range(1, p + 1):
+            k = n - i
+            if k >= 0:
+                prediction += coeffs[i - 1] * values[k]
+        values.append(e + prediction)
+    return values
+
+
+def lp_encode_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized order-2 paper predictor for int64 arrays.
+
+    Equivalent to :func:`lp_encode` with :data:`PAPER_COEFFS`; used on hot
+    paths (index columns can contain millions of entries).
+    """
+    x = np.asarray(values, dtype=np.int64)
+    e = np.empty_like(x)
+    if x.size == 0:
+        return e
+    e[0] = x[0]
+    if x.size > 1:
+        e[1] = x[1] - 2 * x[0]
+    if x.size > 2:
+        e[2:] = x[2:] - 2 * x[1:-1] + x[:-2]
+    return e
+
+
+def lp_decode_array(errors: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`lp_encode_array`.
+
+    The recurrence ``x_n = e_n + 2*x_{n-1} - x_{n-2}`` telescopes: the first
+    difference ``d_n = x_n - x_{n-1}`` satisfies ``d_n = d_{n-1} + e_n``, so
+    ``x = cumsum(cumsum(e))`` — fully vectorized.
+    """
+    e = np.asarray(errors, dtype=np.int64)
+    if e.size == 0:
+        return e.copy()
+    return np.cumsum(np.cumsum(e))
+
+
+def prediction_quality(values: Sequence[int], coeffs: Sequence[int] = PAPER_COEFFS) -> float:
+    """Fraction of exactly-predicted values (``e_n == 0``), excluding warmup.
+
+    A diagnostic used by the hidden-determinism analysis (Section 6.3): for
+    regular (deterministic) communication the index sequences are arithmetic
+    and this approaches 1.0.
+    """
+    errors = lp_encode(values, coeffs)
+    if len(errors) <= len(coeffs):
+        return 0.0
+    body = errors[len(coeffs):]
+    return sum(1 for e in body if e == 0) / len(body)

@@ -1,0 +1,272 @@
+"""End-to-end CDC encoding pipeline (Figure 5) and its inverse.
+
+Encoding a :class:`~repro.core.record_table.RecordTable` chunk:
+
+1. **Redundancy elimination** already happened structurally when the table
+   was built (matched / with_next / unmatched split, Figure 6).
+2. **Permutation encoding**: sort the matched receives by
+   ``(clock, sender rank)`` into the reference order (Definition 6) and
+   keep only the permutation difference to the observed order (Figure 7).
+   The ``(rank, clock)`` identifier columns are *dropped entirely* — replay
+   rebuilds them from the actually-received, replayable clocks.
+3. **Epoch line**: per-sender clock ceilings so chunked replay stays
+   correct (Section 3.5).
+4. (**Linear predictive encoding** of the monotone index columns and the
+   final gzip happen at serialization time in :mod:`repro.core.formats`.)
+
+Decoding inverts the permutation given the receives observed during replay:
+:func:`reconstruct_observed_order` is the operation the replayer performs
+once a chunk's receives are in hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.epoch import EpochLine
+from repro.core.events import ReceiveEvent
+from repro.core.permutation import (
+    PermutationDiff,
+    apply_permutation,
+    encode_permutation,
+    observed_as_reference_indices,
+)
+from repro.core.record_table import RecordTable
+from repro.errors import DecodingError
+
+
+@dataclass(frozen=True)
+class CDCChunk:
+    """A fully CDC-encoded chunk: what actually reaches storage.
+
+    Note what is *absent*: the matched ``(rank, clock)`` list. Only the
+    deviation from the reference order is kept.
+
+    ``sender_counts`` is a soundness hardening over the paper's pure
+    clock-ceiling epoch test (DESIGN.md §5.2): per sender, how many of its
+    receives the chunk contains. Because a sender's piggybacked clocks
+    strictly increase and channels are FIFO, the chunk's members from rank
+    ``r`` are exactly the next ``count_r`` arrivals from ``r`` at this
+    callsite — correct even when an application-level inversion (Figure 3)
+    spans a chunk boundary, where the clock test alone would misclassify.
+    """
+
+    callsite: str
+    num_events: int
+    diff: PermutationDiff
+    with_next_indices: tuple[int, ...]
+    unmatched_runs: tuple[tuple[int, int], ...]
+    epoch: EpochLine
+    sender_counts: tuple[tuple[int, int], ...]
+    #: per sender, the clock of its *first* receive in the chunk. This
+    #: bootstraps the replay-side Local Minimum Clock: before any message
+    #: from a sender arrives, the smallest clock it can still contribute is
+    #: known exactly, so early events become releasable without waiting on
+    #: every channel (the paper's Axiom 1 presumes LMC knowledge; this is
+    #: the cheap record-side hint that makes it computable online).
+    sender_min_clocks: tuple[tuple[int, int], ...] = ()
+    #: boundary exceptions: events of *this* chunk whose clock does not
+    #: exceed an earlier chunk's per-sender ceiling at the same callsite.
+    #: Without them, chunk membership is underdetermined whenever an
+    #: application-level inversion spans a flush boundary (the paper's
+    #: clock-ceiling test and a pure per-sender count both misassign such
+    #: arrivals — found by property fuzzing, see DESIGN.md §5.2). Almost
+    #: always empty; each entry costs two varints.
+    boundary_exceptions: tuple[tuple[int, int], ...] = ()
+    #: optional replay assist: the sender rank of each receive in observed
+    #: order (the Figure 4 ``rank`` column). The paper drops it and relies
+    #: on Axiom 1's LMC, which we show is not computable online from the
+    #: stored record alone for general workloads (see DESIGN.md §5.6);
+    #: with it, the event at observed position p is identified *exactly* as
+    #: the k-th arrival from sender ``r_p`` (k derived from the stored
+    #: permutation), making replay deadlock-free. Costs ~1-2 bits/event
+    #: after gzip; ``None`` reproduces the paper's format byte-for-value.
+    sender_sequence: tuple[int, ...] | None = None
+
+    def value_count(self) -> int:
+        """Stored-value count (19 for the paper's Figure 4→8 example).
+
+        Follows the paper's accounting (Figure 8): permutation rows,
+        with_next entries, unmatched runs, epoch-line pairs. The hardening
+        counts ride along with the epoch pairs and are excluded so the
+        worked example stays comparable.
+        """
+        return (
+            2 * self.diff.num_moved
+            + len(self.with_next_indices)
+            + 2 * len(self.unmatched_runs)
+            + self.epoch.value_count()
+        )
+
+
+def reference_order(events: Iterable[ReceiveEvent]) -> list[ReceiveEvent]:
+    """Sort receives into the Definition 6 reference order.
+
+    Primary key: piggybacked Lamport clock; tie-break: sender rank ("a
+    message from a smaller rank is earlier than ones from bigger ranks").
+    """
+    return sorted(events, key=lambda ev: ev.key)
+
+
+def encode_chunk(
+    table: RecordTable,
+    replay_assist: bool = False,
+    prior_ceilings: Mapping[int, int] | None = None,
+) -> CDCChunk:
+    """CDC-encode one record-table chunk.
+
+    ``replay_assist=True`` additionally stores the observed-order sender
+    column, enabling deterministic online replay (DESIGN.md §5.6); the
+    default reproduces the paper's format exactly.
+
+    ``prior_ceilings`` maps sender rank to the highest clock recorded for
+    it in *earlier* chunks of the same callsite; events at or below their
+    sender's prior ceiling become boundary exceptions (see CDCChunk).
+    """
+    ref = reference_order(table.matched)
+    observed_indices = observed_as_reference_indices(
+        [ev.key for ev in table.matched], [ev.key for ev in ref]
+    )
+    diff = encode_permutation(observed_indices)
+    counts: dict[int, int] = {}
+    min_clocks: dict[int, int] = {}
+    for ev in table.matched:
+        counts[ev.rank] = counts.get(ev.rank, 0) + 1
+        if ev.rank not in min_clocks or ev.clock < min_clocks[ev.rank]:
+            min_clocks[ev.rank] = ev.clock
+    exceptions: list[tuple[int, int]] = []
+    if prior_ceilings:
+        for ev in table.matched:
+            if ev.clock <= prior_ceilings.get(ev.rank, -1):
+                exceptions.append((ev.rank, ev.clock))
+    return CDCChunk(
+        callsite=table.callsite,
+        num_events=len(table.matched),
+        diff=diff,
+        with_next_indices=table.with_next_indices,
+        unmatched_runs=table.unmatched_runs,
+        epoch=EpochLine.from_events(table.matched),
+        sender_counts=tuple(sorted(counts.items())),
+        sender_min_clocks=tuple(sorted(min_clocks.items())),
+        boundary_exceptions=tuple(sorted(exceptions)),
+        sender_sequence=tuple(ev.rank for ev in table.matched)
+        if replay_assist
+        else None,
+    )
+
+
+def encode_chunk_sequence(
+    tables: Sequence[RecordTable], replay_assist: bool = False
+) -> list[CDCChunk]:
+    """Encode consecutive chunks of ONE callsite with boundary tracking.
+
+    Mirrors what the online recorder does: each chunk is encoded against
+    the running per-sender ceilings of its predecessors so boundary
+    exceptions are marked (DESIGN.md §5.2).
+    """
+    ceilings: dict[int, int] = {}
+    chunks: list[CDCChunk] = []
+    for table in tables:
+        chunk = encode_chunk(
+            table, replay_assist=replay_assist, prior_ceilings=ceilings
+        )
+        for sender, ceiling in chunk.epoch.max_clock_by_rank.items():
+            if ceilings.get(sender, -1) < ceiling:
+                ceilings[sender] = ceiling
+        chunks.append(chunk)
+    return chunks
+
+
+def assist_occurrence_indices(chunk: CDCChunk) -> list[int]:
+    """For each observed position, which arrival from its sender it is.
+
+    With the replay-assist column, the event at observed position ``p`` is
+    the ``k``-th message (1-based) its sender contributes to the chunk *in
+    clock order*. ``k`` is derivable without any clock: a sender's slots in
+    the reference order are its events in clock order, and the stored
+    permutation exposes every position's reference slot — so ``k`` is the
+    rank of ``order[p]`` among the sender's own slots.
+    """
+    if chunk.sender_sequence is None:
+        raise DecodingError("chunk carries no replay-assist column")
+    from repro.core.permutation import decode_permutation
+
+    order = decode_permutation(chunk.diff)
+    slots_by_sender: dict[int, list[int]] = {}
+    for p, sender in enumerate(chunk.sender_sequence):
+        slots_by_sender.setdefault(sender, []).append(order[p])
+    rank_within: dict[int, dict[int, int]] = {}
+    for sender, slots in slots_by_sender.items():
+        rank_within[sender] = {
+            slot: k for k, slot in enumerate(sorted(slots), start=1)
+        }
+    return [
+        rank_within[sender][order[p]]
+        for p, sender in enumerate(chunk.sender_sequence)
+    ]
+
+
+def reconstruct_observed_order(
+    chunk: CDCChunk, received: Sequence[ReceiveEvent]
+) -> list[ReceiveEvent]:
+    """Recover the recorded observed order from replay-time receives.
+
+    ``received`` is the chunk's matched set as observed during replay, in
+    any order. Its clocks must equal the record-time clocks (Theorem 2);
+    the reference order is rebuilt from them and the stored permutation
+    difference is applied.
+    """
+    if len(received) != chunk.num_events:
+        raise DecodingError(
+            f"chunk {chunk.callsite!r} expects {chunk.num_events} receives, "
+            f"got {len(received)}"
+        )
+    keys = {ev.key for ev in received}
+    if len(keys) != len(received):
+        raise DecodingError("duplicate (clock, rank) identifiers in chunk receives")
+    ref = reference_order(received)
+    return apply_permutation(chunk.diff, ref)
+
+
+def reconstruct_table(chunk: CDCChunk, received: Sequence[ReceiveEvent]) -> RecordTable:
+    """Full decode: rebuild the record table a chunk represents.
+
+    This is the offline inverse used by tests and tooling; the online
+    replayer streams the same information incrementally.
+    """
+    observed = reconstruct_observed_order(chunk, received)
+    return RecordTable(
+        callsite=chunk.callsite,
+        matched=tuple(observed),
+        with_next_indices=chunk.with_next_indices,
+        unmatched_runs=chunk.unmatched_runs,
+    )
+
+
+def chunk_members(
+    chunk: CDCChunk,
+    candidates: Iterable[ReceiveEvent],
+    later_exceptions: Iterable[tuple[int, int]] = (),
+) -> tuple[list[ReceiveEvent], list[ReceiveEvent]]:
+    """Split candidate receives into (chunk members, later-chunk rest).
+
+    ``candidates`` must be in per-sender arrival order (guaranteed when they
+    come from FIFO channels). Membership takes, per sender, the first
+    ``count_r`` candidates — except events claimed by a *later* chunk's
+    boundary exceptions, which are exactly the arrivals that would
+    otherwise be misassigned when an inversion spans the flush boundary
+    (DESIGN.md §5.2).
+    """
+    quota = dict(chunk.sender_counts)
+    claimed = set(later_exceptions)
+    members: list[ReceiveEvent] = []
+    rest: list[ReceiveEvent] = []
+    for ev in candidates:
+        remaining = quota.get(ev.rank, 0)
+        if remaining > 0 and (ev.rank, ev.clock) not in claimed:
+            quota[ev.rank] = remaining - 1
+            members.append(ev)
+        else:
+            rest.append(ev)
+    return members, rest

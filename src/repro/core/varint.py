@@ -1,0 +1,140 @@
+"""Variable-length integer serialization for CDC chunk payloads.
+
+CDC's tables are dominated by values near zero (that is the whole point of
+the permutation + linear-predictive stages), so LEB128 varints with zig-zag
+mapping for signed values give a compact pre-gzip byte stream: values in
+[-64, 63] cost a single byte.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import RecordFormatError
+
+_CONT = 0x80
+_PAYLOAD = 0x7F
+
+
+def zigzag_encode(value: int) -> int:
+    """Map a signed int to an unsigned one with small absolute values first.
+
+    0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
+    """
+    return (value << 1) ^ (value >> 63) if -(1 << 63) <= value < (1 << 63) else _zigzag_big(value)
+
+
+def _zigzag_big(value: int) -> int:
+    # Arbitrary-precision fallback (Python ints are unbounded; clocks stay
+    # well under 2**63 in practice but the format must not silently corrupt).
+    return value << 1 if value >= 0 else ((-value) << 1) - 1
+
+
+def zigzag_decode(value: int) -> int:
+    """Inverse of :func:`zigzag_encode`."""
+    return (value >> 1) ^ -(value & 1)
+
+
+def encode_uvarint(value: int, out: bytearray) -> None:
+    """Append an unsigned LEB128 varint to ``out``."""
+    if value < 0:
+        raise ValueError(f"uvarint requires value >= 0, got {value}")
+    while True:
+        byte = value & _PAYLOAD
+        value >>= 7
+        if value:
+            out.append(byte | _CONT)
+        else:
+            out.append(byte)
+            return
+
+
+def decode_uvarint(buf: bytes, offset: int) -> tuple[int, int]:
+    """Decode an unsigned varint at ``offset``; return (value, next offset)."""
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(buf):
+            raise RecordFormatError(f"truncated varint at offset {offset}")
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & _PAYLOAD) << shift
+        if not byte & _CONT:
+            return result, pos
+        shift += 7
+        if shift > 128:
+            raise RecordFormatError(f"varint too long at offset {offset}")
+
+
+def encode_svarint(value: int, out: bytearray) -> None:
+    """Append a signed (zig-zag) varint to ``out``."""
+    encode_uvarint(_zigzag_big(value), out)
+
+
+def decode_svarint(buf: bytes, offset: int) -> tuple[int, int]:
+    """Decode a signed (zig-zag) varint; return (value, next offset)."""
+    raw, pos = decode_uvarint(buf, offset)
+    return zigzag_decode(raw), pos
+
+
+def encode_uvarint_array(values: Iterable[int]) -> bytes:
+    """Length-prefixed array of unsigned varints."""
+    vals = list(values)
+    out = bytearray()
+    encode_uvarint(len(vals), out)
+    for v in vals:
+        encode_uvarint(v, out)
+    return bytes(out)
+
+
+def decode_uvarint_array(buf: bytes, offset: int) -> tuple[list[int], int]:
+    """Inverse of :func:`encode_uvarint_array`; returns (values, next offset)."""
+    n, pos = decode_uvarint(buf, offset)
+    values = []
+    for _ in range(n):
+        v, pos = decode_uvarint(buf, pos)
+        values.append(v)
+    return values, pos
+
+
+def encode_svarint_array(values: Iterable[int]) -> bytes:
+    """Length-prefixed array of signed varints."""
+    vals = list(values)
+    out = bytearray()
+    encode_uvarint(len(vals), out)
+    for v in vals:
+        encode_svarint(v, out)
+    return bytes(out)
+
+
+def decode_svarint_array(buf: bytes, offset: int) -> tuple[list[int], int]:
+    """Inverse of :func:`encode_svarint_array`."""
+    n, pos = decode_uvarint(buf, offset)
+    values = []
+    for _ in range(n):
+        v, pos = decode_svarint(buf, pos)
+        values.append(v)
+    return values, pos
+
+
+def uvarint_size(value: int) -> int:
+    """Byte length :func:`encode_uvarint` would produce for ``value``."""
+    if value < 0:
+        raise ValueError("uvarint requires value >= 0")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size
+
+
+def svarint_size(value: int) -> int:
+    """Byte length :func:`encode_svarint` would produce for ``value``."""
+    return uvarint_size(_zigzag_big(value))
+
+
+def array_payload_size(values: Sequence[int], signed: bool) -> int:
+    """Total encoded size of a length-prefixed varint array."""
+    size_of = svarint_size if signed else uvarint_size
+    return uvarint_size(len(values)) + sum(size_of(v) for v in values)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the CDC record-and-replay library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event MPI simulator reached an invalid state."""
+
+
+class DeadlockError(SimulationError):
+    """No process is runnable and no event is pending, but processes remain.
+
+    Carries the set of blocked ranks to aid debugging of workloads.
+    """
+
+    def __init__(self, blocked_ranks, message: str | None = None) -> None:
+        self.blocked_ranks = tuple(sorted(blocked_ranks))
+        super().__init__(
+            message
+            or f"deadlock: ranks {self.blocked_ranks} blocked with no pending events"
+        )
+
+
+class CommunicatorError(SimulationError):
+    """Misuse of the simulated communicator API (bad rank, reused request...)."""
+
+
+class EncodingError(ReproError):
+    """A CDC encoding stage received data it cannot represent."""
+
+
+class DecodingError(ReproError):
+    """A CDC record is malformed, truncated, or fails an integrity check."""
+
+
+class RecordFormatError(DecodingError):
+    """A serialized chunk violates the CDC binary format."""
+
+
+class ReplayDivergence(ReproError):
+    """The replayed execution diverged from the recorded one.
+
+    Raised when the application requests a matching-function completion that
+    the record cannot satisfy (e.g. a decoded message id that cannot belong
+    to any pending request), which indicates either a non-deterministic send
+    path (violating Definition 7 of the paper) or a corrupted record.
+    """
+
+    def __init__(self, rank: int, detail: str) -> None:
+        self.rank = rank
+        self.detail = detail
+        super().__init__(f"replay diverged at rank {rank}: {detail}")
+
+
+class RecordExhausted(ReplayDivergence):
+    """Replay requested more events than the record contains."""
+
+    def __init__(self, rank: int, callsite: str) -> None:
+        self.callsite = callsite
+        super().__init__(rank, f"record exhausted for callsite {callsite!r}")

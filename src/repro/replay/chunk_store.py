@@ -1,0 +1,135 @@
+"""Storage for recorded CDC chunks: the node-local record data.
+
+A :class:`RecordArchive` holds one compressed record per rank, mirroring
+the paper's per-process record files on node-local storage (SSD/ramdisk).
+Chunks are kept per ``(rank, callsite)`` in flush order; the on-storage
+bytes are the CDC binary format (Figure 8) under zlib, and the archive can
+round-trip through files for offline replay.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+from repro.core.compression import ZLIB_LEVEL
+from repro.core.formats import deserialize_cdc_chunks, serialize_cdc_chunks
+from repro.core.pipeline import CDCChunk
+from repro.errors import RecordFormatError
+
+
+@dataclass
+class RecordArchive:
+    """All ranks' CDC records for one recorded run."""
+
+    nprocs: int
+    #: rank -> chunks in global flush order (callsites interleaved).
+    chunks_by_rank: dict[int, list[CDCChunk]] = field(default_factory=dict)
+    #: metadata preserved for replay bookkeeping.
+    meta: dict[str, object] = field(default_factory=dict)
+
+    def append(self, rank: int, chunk: CDCChunk) -> None:
+        if not 0 <= rank < self.nprocs:
+            raise RecordFormatError(f"rank {rank} out of range")
+        self.chunks_by_rank.setdefault(rank, []).append(chunk)
+
+    def chunks(self, rank: int) -> list[CDCChunk]:
+        return self.chunks_by_rank.get(rank, [])
+
+    def chunks_by_callsite(self, rank: int) -> dict[str, list[CDCChunk]]:
+        """Per-callsite chunk sequences (flush order preserved)."""
+        out: dict[str, list[CDCChunk]] = {}
+        for chunk in self.chunks(rank):
+            out.setdefault(chunk.callsite, []).append(chunk)
+        return out
+
+    def iter_all(self) -> Iterator[tuple[int, CDCChunk]]:
+        for rank in sorted(self.chunks_by_rank):
+            for chunk in self.chunks_by_rank[rank]:
+                yield rank, chunk
+
+    # -- size accounting -----------------------------------------------------
+
+    def rank_bytes(self, rank: int) -> int:
+        """Compressed record size of one rank (what its node stores)."""
+        return len(zlib.compress(serialize_cdc_chunks(self.chunks(rank)), ZLIB_LEVEL))
+
+    def total_bytes(self) -> int:
+        return sum(self.rank_bytes(r) for r in self.chunks_by_rank)
+
+    def total_events(self) -> int:
+        return sum(c.num_events for _, c in self.iter_all())
+
+    def per_node_bytes(self, procs_per_node: int = 24) -> dict[int, int]:
+        """Aggregate record bytes per compute node (Figure 15's unit)."""
+        nodes: dict[int, int] = {}
+        for rank in range(self.nprocs):
+            node = rank // procs_per_node
+            nodes[node] = nodes.get(node, 0) + self.rank_bytes(rank)
+        return nodes
+
+    # -- persistence -----------------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Write one ``rank-NNNNN.cdc`` file per rank plus a manifest.
+
+        ``meta`` (JSON-serializable only) rides along in the manifest so a
+        loaded archive knows how it was produced (workload, seeds, ...).
+        """
+        os.makedirs(directory, exist_ok=True)
+        manifest = {"nprocs": self.nprocs, "meta": self.meta}
+        with open(os.path.join(directory, "MANIFEST"), "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+        for rank in range(self.nprocs):
+            payload = zlib.compress(
+                serialize_cdc_chunks(self.chunks(rank)), ZLIB_LEVEL
+            )
+            with open(os.path.join(directory, f"rank-{rank:05d}.cdc"), "wb") as fh:
+                fh.write(payload)
+
+    @classmethod
+    def load(cls, directory: str) -> "RecordArchive":
+        path = os.path.join(directory, "MANIFEST")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                raw = fh.read()
+        except FileNotFoundError as exc:
+            raise RecordFormatError(f"no MANIFEST in {directory}") from exc
+        try:
+            manifest = json.loads(raw)
+            nprocs = int(manifest["nprocs"])
+            meta = dict(manifest.get("meta", {}))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise RecordFormatError(f"malformed MANIFEST: {exc}") from exc
+        archive = cls(nprocs=nprocs, meta=meta)
+        for rank in range(archive.nprocs):
+            rank_path = os.path.join(directory, f"rank-{rank:05d}.cdc")
+            with open(rank_path, "rb") as fh:
+                data = zlib.decompress(fh.read())
+            for chunk in deserialize_cdc_chunks(data):
+                archive.append(rank, chunk)
+        return archive
+
+
+def bytes_per_event(archive: RecordArchive) -> float:
+    """Average storage bytes per receive event across the whole run."""
+    events = archive.total_events()
+    if events == 0:
+        return 0.0
+    return archive.total_bytes() / events
+
+
+def summarize(archive: RecordArchive) -> Mapping[str, object]:
+    """Human-oriented archive summary used by examples and reports."""
+    return {
+        "nprocs": archive.nprocs,
+        "total_bytes": archive.total_bytes(),
+        "total_events": archive.total_events(),
+        "bytes_per_event": bytes_per_event(archive),
+        "callsites": sorted(
+            {c.callsite for _, c in archive.iter_all()}
+        ),
+    }

@@ -1,0 +1,92 @@
+"""Virtual-time recording cost model (the Figure 16 substitution).
+
+The paper measures wall-clock overhead of recording on a real cluster. A
+Python reimplementation cannot reproduce absolute C-tool timings, so the
+overhead *mechanism* is modeled in virtual time instead (see DESIGN.md §2):
+
+* every recorded MF event costs the producer ``enqueue_cost`` seconds
+  (building the event struct + the SPSC enqueue);
+* the CDC/gzip thread drains the queue at ``drain_rate`` events/s; if the
+  producer saturates it, the producer stalls (FluidQueueModel);
+* the 8-byte clock piggyback inflates every message's latency (handled by
+  :class:`repro.sim.network.Network` via ``piggyback_bytes``).
+
+Default parameters are calibrated so MCB weak-scaling reproduces the
+paper's *shape*: CDC overhead in the low-tens of percent, gzip recording a
+few percent cheaper (its per-event producer cost is lower because no edit
+distance is computed inline), and both flat in the number of processes
+(recording is communication-free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.replay.async_queue import FluidQueueModel
+
+
+@dataclass
+class RecordingCostModel:
+    """Per-rank virtual-time costs of recording."""
+
+    #: producer-side cost per recorded MF event (seconds).
+    enqueue_cost: float = 1.0e-6
+    #: consumer (CDC thread) throughput, events/second.
+    drain_rate: float = 331_000.0
+    #: bounded observe-queue capacity (events).
+    queue_capacity: int = 100_000
+    #: piggyback payload per message (bytes); 8 in the paper.
+    piggyback_bytes: int = 8
+
+    def make_queue(self) -> FluidQueueModel:
+        return FluidQueueModel(capacity=self.queue_capacity, drain_rate=self.drain_rate)
+
+
+def cdc_cost_model() -> RecordingCostModel:
+    """Defaults for CDC recording (edit distance computed by the consumer)."""
+    return RecordingCostModel(
+        enqueue_cost=1.0e-6,
+        drain_rate=331_000.0,
+        queue_capacity=100_000,
+        piggyback_bytes=8,
+    )
+
+
+def gzip_cost_model() -> RecordingCostModel:
+    """Defaults for gzip-baseline recording.
+
+    Cheaper on the producer side (plain struct copy, no clock bookkeeping
+    beyond the piggyback) and a faster consumer (gzip alone beats
+    EDA+LP+gzip), matching the paper's observation that CDC costs 4.6–13.9%
+    more runtime than gzip recording.
+    """
+    return RecordingCostModel(
+        enqueue_cost=0.45e-6,
+        drain_rate=500_000.0,
+        queue_capacity=100_000,
+        piggyback_bytes=8,
+    )
+
+
+@dataclass
+class PerRankRecordingState:
+    """Queue + counters attached to each rank while recording."""
+
+    model: RecordingCostModel
+    queue: FluidQueueModel = field(init=False)
+    events_recorded: int = 0
+
+    def __post_init__(self) -> None:
+        self.queue = self.model.make_queue()
+
+    def charge(self, now: float, n_events: int) -> float:
+        """Virtual-time overhead for recording ``n_events`` at time ``now``.
+
+        ``n_events`` counts quintuple rows produced by one MF call: each
+        matched receive is one event, an unmatched test is one event.
+        """
+        if n_events <= 0:
+            return 0.0
+        self.events_recorded += n_events
+        stall = self.queue.enqueue(now, n_events)
+        return self.model.enqueue_cost * n_events + stall

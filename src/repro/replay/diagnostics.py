@@ -1,0 +1,138 @@
+"""Replay diagnostics: explain *why* a replay is stuck or diverged.
+
+When a replay deadlocks or raises, the raw exception rarely tells the
+whole story. :func:`replay_report` snapshots every rank's pending call and
+callsite decoder state — cursor position, pool contents, outstanding
+quotas, certainty horizon — into a structured report the session attaches
+to its error, and that tooling can render for humans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.replay.replayer import CallsiteReplayState, ReplayController, _Peek
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class CallsiteReport:
+    """Decoder snapshot for one (rank, callsite)."""
+
+    rank: int
+    callsite: str
+    status: str  # unmatched | group | blocked | exhausted | idle
+    cursor: int
+    chunk_events: int | None
+    pending_chunks: int
+    pooled: int
+    overflowed: int
+    outstanding_quota: dict[int, int]
+    horizon: tuple[int, int] | None
+    uses_assist: bool
+
+    def describe(self) -> str:
+        where = (
+            f"chunk event {self.cursor}/{self.chunk_events}"
+            if self.chunk_events is not None
+            else "no active chunk"
+        )
+        detail = (
+            f"{self.pooled} pooled, {self.overflowed} overflowed, "
+            f"waiting on senders {sorted(self.outstanding_quota)}"
+            if self.outstanding_quota
+            else f"{self.pooled} pooled"
+        )
+        return (
+            f"rank {self.rank} @ {self.callsite}: {self.status} at {where} "
+            f"({detail}; +{self.pending_chunks} chunks queued)"
+        )
+
+
+@dataclass(frozen=True)
+class RankReport:
+    """One rank's replay situation."""
+
+    rank: int
+    done: bool
+    blocked_kind: str | None
+    blocked_callsite: str | None
+    lamport_clock: int
+    callsites: tuple[CallsiteReport, ...] = ()
+
+    def describe(self) -> str:
+        if self.done:
+            return f"rank {self.rank}: finished"
+        if self.blocked_callsite is None:
+            return f"rank {self.rank}: running (clock {self.lamport_clock})"
+        return (
+            f"rank {self.rank}: parked in {self.blocked_kind} at "
+            f"{self.blocked_callsite!r} (clock {self.lamport_clock})"
+        )
+
+
+@dataclass(frozen=True)
+class ReplayReport:
+    """Whole-job replay snapshot."""
+
+    ranks: tuple[RankReport, ...]
+
+    @property
+    def stuck_ranks(self) -> list[int]:
+        return [r.rank for r in self.ranks if not r.done and r.blocked_callsite]
+
+    def render(self, max_ranks: int = 16) -> str:
+        lines = ["replay state report", "==================="]
+        for rank_report in self.ranks[:max_ranks]:
+            lines.append(rank_report.describe())
+            for cs in rank_report.callsites:
+                if cs.status in ("blocked", "group"):
+                    lines.append(f"  {cs.describe()}")
+        if len(self.ranks) > max_ranks:
+            lines.append(f"... and {len(self.ranks) - max_ranks} more ranks")
+        return "\n".join(lines)
+
+
+def _callsite_report(state: CallsiteReplayState, status: str) -> CallsiteReport:
+    return CallsiteReport(
+        rank=state.rank,
+        callsite=state.callsite,
+        status=status,
+        cursor=state.cursor,
+        chunk_events=state.chunk.num_events if state.chunk else None,
+        pending_chunks=len(state.pending_chunks),
+        pooled=len(state.pool),
+        overflowed=len(state.overflow),
+        outstanding_quota={s: q for s, q in state.quota.items() if q > 0},
+        horizon=state.certainty_horizon() if state.chunk else None,
+        uses_assist=state.assist is not None,
+    )
+
+
+def replay_report(engine: Engine, controller: ReplayController) -> ReplayReport:
+    """Snapshot the replay state of every rank."""
+    ranks = []
+    for proc in engine.procs:
+        call = proc.pending_call
+        callsites = []
+        for (rank, callsite), state in controller._states.items():
+            if rank != proc.rank:
+                continue
+            if state.chunk is None and not state.pending_chunks:
+                status = "idle"
+            else:
+                peek, _ = state.peek()
+                status = peek.value if isinstance(peek, _Peek) else str(peek)
+            callsites.append(_callsite_report(state, status))
+        ranks.append(
+            RankReport(
+                rank=proc.rank,
+                done=proc.done,
+                blocked_kind=call.kind.value if call else None,
+                blocked_callsite=call.callsite if call else None,
+                lamport_clock=proc.clock.value,
+                callsites=tuple(sorted(callsites, key=lambda c: c.callsite)),
+            )
+        )
+    return ReplayReport(tuple(ranks))

@@ -1,0 +1,187 @@
+"""Record mode: the CDC recording controller.
+
+Hooks the PMPI seam (:class:`~repro.sim.pmpi.MFController`) and, for every
+MF outcome, feeds the per-``(rank, callsite)`` record-table builder
+(Section 4.4 MF identification). Builders flush every ``chunk_events``
+matched receives (Section 3.5), each flush CDC-encoding a chunk into the
+:class:`~repro.replay.chunk_store.RecordArchive`.
+
+Recording overhead is charged through the
+:class:`~repro.replay.cost_model.RecordingCostModel`: producer-side event
+cost plus queue-saturation stalls, and the 8-byte clock piggyback on every
+message — the asynchronous-recording architecture of Figure 11 in
+virtual-time form.
+
+``GzipRecordingController`` is the Figure 13/16 baseline: it captures the
+same outcomes but stores the gzip'd raw quintuple format and uses the gzip
+cost model.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.compression import ZLIB_LEVEL
+from repro.core.events import MFOutcome, outcomes_to_rows
+from repro.core.formats import serialize_raw_rows
+from repro.core.pipeline import encode_chunk
+from repro.core.record_table import RecordTableBuilder
+from repro.replay.chunk_store import RecordArchive
+from repro.replay.cost_model import (
+    PerRankRecordingState,
+    RecordingCostModel,
+    cdc_cost_model,
+    gzip_cost_model,
+)
+from repro.sim.network import payload_nbytes
+from repro.sim.pmpi import MFController
+from repro.sim.process import MFCall, MFResult, SimProcess
+
+#: Matched events per chunk before a flush (paper: bounded memory footprint).
+DEFAULT_CHUNK_EVENTS = 1024
+
+
+@dataclass
+class RankRecorderState:
+    """Per-rank recording state: builders, queue, counters."""
+
+    rank: int
+    cost: PerRankRecordingState
+    builders: dict[str, RecordTableBuilder] = field(default_factory=dict)
+    outcomes: list[MFOutcome] = field(default_factory=list)
+    #: per callsite, per sender: highest clock in already-flushed chunks —
+    #: lets flushes mark boundary-exception events (DESIGN.md §5.2).
+    ceilings: dict[str, dict[int, int]] = field(default_factory=dict)
+    #: total payload bytes this rank received — what a data-replay tool
+    #: (Section 7) would have to store *in addition to* the order.
+    payload_bytes: int = 0
+
+
+class RecordingController(MFController):
+    """Natural MPI semantics + CDC recording of every MF outcome."""
+
+    mode = "record"
+
+    def __init__(
+        self,
+        nprocs: int,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        cost_model: RecordingCostModel | None = None,
+        keep_outcomes: bool = True,
+        replay_assist: bool = True,
+    ) -> None:
+        super().__init__()
+        self.chunk_events = chunk_events
+        self.cost_model = cost_model if cost_model is not None else cdc_cost_model()
+        self.keep_outcomes = keep_outcomes
+        self.replay_assist = replay_assist
+        self.archive = RecordArchive(nprocs)
+        self.ranks: dict[int, RankRecorderState] = {
+            r: RankRecorderState(r, PerRankRecordingState(self.cost_model))
+            for r in range(nprocs)
+        }
+        self._pending_events: dict[int, int] = {}
+
+    # -- MFController hooks ---------------------------------------------------
+
+    def piggyback_bytes(self) -> int:
+        return self.cost_model.piggyback_bytes
+
+    def on_outcome(self, proc: SimProcess, outcome: MFOutcome) -> None:
+        state = self.ranks[proc.rank]
+        if self.keep_outcomes:
+            state.outcomes.append(outcome)
+        builder = state.builders.get(outcome.callsite)
+        if builder is None:
+            builder = state.builders[outcome.callsite] = RecordTableBuilder(
+                outcome.callsite
+            )
+        builder.add(outcome)
+        # one queue event per quintuple row this outcome produces
+        self._pending_events[proc.rank] = max(1, len(outcome.matched))
+        if builder.num_events >= self.chunk_events:
+            self._flush(proc.rank, builder)
+
+    def overhead(self, proc: SimProcess, call: MFCall, result: MFResult) -> float:
+        state = self.ranks[proc.rank]
+        for msg in result.messages:
+            if msg is not None:
+                state.payload_bytes += payload_nbytes(msg.payload)
+        n = self._pending_events.pop(proc.rank, 0)
+        if n == 0:
+            return 0.0
+        return state.cost.charge(proc.time, n)
+
+    def finalize(self, procs: Sequence[SimProcess]) -> None:
+        for rank, state in self.ranks.items():
+            for builder in state.builders.values():
+                if builder.dirty:
+                    self._flush(rank, builder)
+
+    def _flush(self, rank: int, builder: RecordTableBuilder) -> None:
+        table = builder.flush()
+        if not (table.num_events or table.unmatched_runs):
+            return
+        ceilings = self.ranks[rank].ceilings.setdefault(table.callsite, {})
+        chunk = encode_chunk(
+            table, replay_assist=self.replay_assist, prior_ceilings=ceilings
+        )
+        for sender, ceiling in chunk.epoch.max_clock_by_rank.items():
+            if ceilings.get(sender, -1) < ceiling:
+                ceilings[sender] = ceiling
+        self.archive.append(rank, chunk)
+
+    # -- results ---------------------------------------------------------------
+
+    def outcomes_of(self, rank: int) -> list[MFOutcome]:
+        return self.ranks[rank].outcomes
+
+    def queue_stats(self) -> dict[int, tuple[float, float]]:
+        """Per-rank (total stall seconds, max queue occupancy)."""
+        return {
+            r: (s.cost.queue.total_stall, s.cost.queue.max_occupancy)
+            for r, s in self.ranks.items()
+        }
+
+    def data_replay_bytes(self) -> int:
+        """Storage a data-replay tool (Section 7) would need: payloads on
+        top of the order — the reason the paper rules data-replay out at
+        scale."""
+        return sum(s.payload_bytes for s in self.ranks.values())
+
+
+class GzipRecordingController(RecordingController):
+    """Order-replay recording with the gzip'd raw format (the baseline).
+
+    Captures identical outcomes (so a gzip record is also replayable in
+    principle) but accounts storage as zlib over the Figure 4 format and
+    charges the cheaper gzip cost model.
+    """
+
+    mode = "record-gzip"
+
+    def __init__(
+        self,
+        nprocs: int,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        cost_model: RecordingCostModel | None = None,
+        keep_outcomes: bool = True,
+        replay_assist: bool = True,
+    ) -> None:
+        super().__init__(
+            nprocs,
+            chunk_events=chunk_events,
+            cost_model=cost_model if cost_model is not None else gzip_cost_model(),
+            keep_outcomes=True,  # the raw format needs the full stream
+            replay_assist=replay_assist,
+        )
+
+    def storage_bytes(self, rank: int) -> int:
+        """gzip'd raw-format record size for one rank."""
+        rows = list(outcomes_to_rows(self.ranks[rank].outcomes))
+        return len(zlib.compress(serialize_raw_rows(rows), ZLIB_LEVEL))
+
+    def total_storage_bytes(self) -> int:
+        return sum(self.storage_bytes(r) for r in self.ranks)

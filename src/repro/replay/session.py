@@ -1,0 +1,214 @@
+"""High-level record / replay sessions (the Figure 2 tool flow).
+
+::
+
+    program = mcb.build_program(nprocs=16, particles_per_rank=200, seed=7)
+
+    baseline = BaselineSession(program, nprocs=16, network_seed=1).run()
+    record   = RecordSession(program, nprocs=16, network_seed=1).run()
+    replayed = ReplaySession(program, record.archive, network_seed=2).run()
+
+    assert replayed.outcomes == record.outcomes          # same receive order
+    assert replayed.app_results == record.app_results    # same numerics
+
+A *program* is the generator function of :mod:`repro.sim.process`; the
+session owns engine construction, controller wiring, and result capture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.events import MFOutcome
+from repro.errors import SimulationError
+from repro.replay.chunk_store import RecordArchive
+from repro.replay.cost_model import RecordingCostModel
+from repro.replay.recorder import (
+    DEFAULT_CHUNK_EVENTS,
+    GzipRecordingController,
+    RecordingController,
+)
+from repro.replay.replayer import DeliveryMode, ReplayController
+from repro.sim.engine import Engine, SimStats
+from repro.sim.network import LatencyModel, Network
+from repro.sim.pmpi import MFController
+
+
+@dataclass
+class RunResult:
+    """Everything a session run produces."""
+
+    mode: str
+    nprocs: int
+    stats: SimStats
+    #: per-rank MF outcome streams (the observed receive orders)
+    outcomes: dict[int, list[MFOutcome]] = field(default_factory=dict)
+    #: per-rank values returned by the program generators
+    app_results: dict[int, Any] = field(default_factory=dict)
+    #: per-rank final Lamport clock values
+    final_clocks: dict[int, int] = field(default_factory=dict)
+    #: record mode only: the CDC archive
+    archive: RecordArchive | None = None
+    #: controller, for mode-specific diagnostics
+    controller: MFController | None = None
+
+    @property
+    def observed_orders(self) -> dict[int, list]:
+        """Per-rank (callsite, events) delivery sequence — the replay target."""
+        return {
+            rank: [(o.callsite, o.matched) for o in stream if o.matched]
+            for rank, stream in self.outcomes.items()
+        }
+
+    def total_receive_events(self) -> int:
+        return sum(
+            len(o.matched) for stream in self.outcomes.values() for o in stream
+        )
+
+
+class _Session:
+    """Shared engine plumbing."""
+
+    def __init__(
+        self,
+        program: Callable | Sequence[Callable],
+        nprocs: int,
+        network_seed: int = 0,
+        latency: LatencyModel | None = None,
+        engine_kwargs: Mapping[str, Any] | None = None,
+    ) -> None:
+        self.program = program
+        self.nprocs = nprocs
+        self.network_seed = network_seed
+        self.latency = latency if latency is not None else LatencyModel()
+        self.engine_kwargs = dict(engine_kwargs or {})
+
+    def _run(self, controller: MFController, mode: str) -> RunResult:
+        network = Network(seed=self.network_seed, latency=self.latency)
+        engine = Engine(
+            self.nprocs,
+            self.program,
+            network=network,
+            controller=controller,
+            **self.engine_kwargs,
+        )
+        self._engine = engine  # kept for post-mortem diagnostics
+        stats = engine.run()
+        result = RunResult(mode=mode, nprocs=self.nprocs, stats=stats)
+        result.app_results = {p.rank: p.result for p in engine.procs}
+        result.final_clocks = {p.rank: p.clock.value for p in engine.procs}
+        result.controller = controller
+        return result
+
+
+class BaselineSession(_Session):
+    """Run without any recording (the 'MCB w/o Recording' configuration)."""
+
+    def run(self) -> RunResult:
+        return self._run(MFController(), "baseline")
+
+
+class RecordSession(_Session):
+    """Run under CDC recording; the result carries the archive."""
+
+    def __init__(
+        self,
+        program: Callable | Sequence[Callable],
+        nprocs: int,
+        network_seed: int = 0,
+        chunk_events: int = DEFAULT_CHUNK_EVENTS,
+        cost_model: RecordingCostModel | None = None,
+        keep_outcomes: bool = True,
+        gzip_baseline: bool = False,
+        replay_assist: bool = True,
+        latency: LatencyModel | None = None,
+        engine_kwargs: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(program, nprocs, network_seed, latency, engine_kwargs)
+        self.chunk_events = chunk_events
+        self.cost_model = cost_model
+        self.keep_outcomes = keep_outcomes
+        self.gzip_baseline = gzip_baseline
+        self.replay_assist = replay_assist
+
+    def run(self) -> RunResult:
+        cls = GzipRecordingController if self.gzip_baseline else RecordingController
+        controller = cls(
+            self.nprocs,
+            chunk_events=self.chunk_events,
+            cost_model=self.cost_model,
+            keep_outcomes=self.keep_outcomes,
+            replay_assist=self.replay_assist,
+        )
+        result = self._run(controller, controller.mode)
+        result.archive = controller.archive
+        if self.keep_outcomes or self.gzip_baseline:
+            result.outcomes = {
+                r: controller.outcomes_of(r) for r in range(self.nprocs)
+            }
+        return result
+
+
+class ReplaySession(_Session):
+    """Run under replay control, forcing the recorded receive order."""
+
+    def __init__(
+        self,
+        program: Callable | Sequence[Callable],
+        archive: RecordArchive,
+        network_seed: int = 0,
+        delivery_mode: DeliveryMode = DeliveryMode.PROGRESSIVE,
+        latency: LatencyModel | None = None,
+        engine_kwargs: Mapping[str, Any] | None = None,
+    ) -> None:
+        super().__init__(program, archive.nprocs, network_seed, latency, engine_kwargs)
+        self.archive = archive
+        self.delivery_mode = delivery_mode
+
+    def run(self) -> RunResult:
+        controller = ReplayController(self.archive, delivery_mode=self.delivery_mode)
+        try:
+            result = self._run(controller, "replay")
+        except SimulationError as exc:
+            # attach a structured post-mortem so the user sees *why*
+            from repro.errors import ReplayDivergence
+            from repro.replay.diagnostics import replay_report
+
+            report = replay_report(self._engine, controller)
+            raise ReplayDivergence(
+                report.stuck_ranks[0] if report.stuck_ranks else -1,
+                f"{exc}\n{report.render()}",
+            ) from exc
+        result.outcomes = dict(controller.outcomes)
+        result.archive = self.archive
+        leftovers = {
+            key: n for key, n in controller.undelivered_summary().items() if n
+        }
+        if leftovers:
+            raise SimulationError(
+                f"replay finished with undelivered recorded events: {leftovers}"
+            )
+        return result
+
+
+def assert_replay_matches(record: RunResult, replay: RunResult) -> None:
+    """Raise AssertionError unless the replay reproduced the recorded run."""
+    if record.nprocs != replay.nprocs:
+        raise AssertionError("rank counts differ")
+    for rank in range(record.nprocs):
+        rec = [o for o in record.outcomes.get(rank, [])]
+        rep = [o for o in replay.outcomes.get(rank, [])]
+        if rec != rep:
+            for i, (a, b) in enumerate(zip(rec, rep)):
+                if a != b:
+                    raise AssertionError(
+                        f"rank {rank} outcome {i} differs:\n  record {a}\n  replay {b}"
+                    )
+            raise AssertionError(
+                f"rank {rank}: outcome counts differ ({len(rec)} vs {len(rep)})"
+            )
+        if record.final_clocks[rank] != replay.final_clocks[rank]:
+            raise AssertionError(f"rank {rank} final Lamport clocks differ")
+        if record.app_results[rank] != replay.app_results[rank]:
+            raise AssertionError(f"rank {rank} application results differ")

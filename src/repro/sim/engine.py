@@ -1,0 +1,236 @@
+"""Deterministic discrete-event engine driving the simulated MPI job.
+
+Each rank runs as a generator coroutine with its own local virtual time;
+the engine interleaves ranks through a single event heap keyed by
+``(time, seq)``. All randomness flows through the seeded
+:class:`~repro.sim.network.Network`, so a run is a pure function of
+``(programs, network seed, controller)`` — which is exactly what lets the
+test suite assert bit-identical record/replay behaviour.
+
+Event kinds:
+
+* ``resume`` — continue a rank's generator with a value;
+* ``deliver`` — a message reaches its destination's mailbox (possibly
+  completing a posted receive and re-arming a parked MF call).
+
+Every yielded operation costs virtual time (``op_cost`` / ``mf_cost``), so
+Test-polling loops always advance time and the simulation cannot livelock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.datatypes import Message, Request, RequestState
+from repro.sim.network import Network, payload_nbytes
+from repro.sim.pmpi import MFController
+from repro.sim.process import Compute, Ctx, MFCall, SimProcess
+
+_RESUME = 0
+_DELIVER = 1
+_CALLBACK = 2
+
+
+@dataclass
+class SimStats:
+    """Aggregate run statistics."""
+
+    nprocs: int
+    virtual_time: float = 0.0
+    total_messages: int = 0
+    total_mf_calls: int = 0
+    total_events: int = 0
+    per_rank_time: list[float] = field(default_factory=list)
+
+
+class Engine:
+    """Run an SPMD (or MPMD) program under a matching-function controller."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        program: Callable | Sequence[Callable],
+        network: Network | None = None,
+        controller: MFController | None = None,
+        op_cost: float = 2.0e-7,
+        mf_cost: float = 5.0e-7,
+        max_events: int = 50_000_000,
+        track_vector_clocks: bool = False,
+        tracer=None,
+    ) -> None:
+        if nprocs <= 0:
+            raise SimulationError("need at least one process")
+        self.nprocs = nprocs
+        self.network = network if network is not None else Network()
+        self.controller = controller if controller is not None else MFController()
+        self.controller.attach(self)
+        self.network.piggyback_bytes = self.controller.piggyback_bytes()
+        self.op_cost = op_cost
+        self.mf_cost = mf_cost
+        self.max_events = max_events
+
+        programs = (
+            list(program) if isinstance(program, (list, tuple)) else [program] * nprocs
+        )
+        if len(programs) != nprocs:
+            raise SimulationError("one program per rank required")
+        self.procs = [SimProcess(rank, prog) for rank, prog in enumerate(programs)]
+        if track_vector_clocks:
+            from repro.clocks.vector import VectorClock
+
+            for proc in self.procs:
+                proc.vector_clock = VectorClock(rank=proc.rank, nprocs=nprocs)
+
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self.stats = SimStats(nprocs)
+        #: optional EngineTracer flight recorder (see repro.sim.tracing).
+        self.tracer = tracer
+        #: global simulation time = timestamp of the event being processed.
+        self.now: float = 0.0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _push(self, time: float, kind: int, data: object) -> None:
+        heapq.heappush(self._heap, (time, next(self._seq), kind, data))
+
+    def schedule_tool_event(self, time: float, fn) -> None:
+        """Schedule a controller-level callback (tool messages, beacons).
+
+        Tool events never touch application mailboxes; they let the replay
+        controller model side-channel traffic such as clock beacons.
+        """
+        self._push(time, _CALLBACK, fn)
+
+    def isend(self, proc: SimProcess, dest: int, payload, tag: int) -> Request:
+        """Non-blocking send: piggyback clock, schedule delivery, complete."""
+        if not 0 <= dest < self.nprocs:
+            raise SimulationError(f"bad destination rank {dest}")
+        proc.time += self.op_cost
+        clock = proc.clock.on_send()
+        vclock = (
+            proc.vector_clock.on_send() if proc.vector_clock is not None else None
+        )
+        seq = self.network.next_seq(proc.rank, dest)
+        msg = Message(
+            src=proc.rank,
+            dst=dest,
+            tag=tag,
+            payload=payload,
+            clock=clock,
+            seq=seq,
+            send_time=proc.time,
+            vclock=vclock,
+        )
+        arrival = self.network.delivery_time(
+            proc.rank, dest, proc.time, payload_nbytes(payload)
+        )
+        self._push(arrival, _DELIVER, msg)
+        self.stats.total_messages += 1
+        req = Request(owner=proc.rank, is_recv=False)
+        req.state = RequestState.COMPLETED
+        req.completion_time = proc.time
+        return req
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> SimStats:
+        """Execute until every rank's program returns."""
+        for proc in self.procs:
+            proc.start(self)
+            self._push(0.0, _RESUME, (proc, None))
+        remaining = self.nprocs
+
+        while self._heap and remaining:
+            self.stats.total_events += 1
+            if self.stats.total_events > self.max_events:
+                raise SimulationError(
+                    f"exceeded {self.max_events} events; likely livelock"
+                )
+            time, _, kind, data = heapq.heappop(self._heap)
+            self.now = time
+            if kind == _RESUME:
+                proc, value = data  # type: ignore[misc]
+                if self.tracer is not None:
+                    self.tracer.record(time, "resume", proc.rank)
+                proc.time = max(proc.time, time)
+                self._step(proc, value)
+                if proc.done:
+                    remaining -= 1
+            elif kind == _CALLBACK:
+                if self.tracer is not None:
+                    self.tracer.record(time, "callback", -1)
+                data(time)  # type: ignore[operator]
+            else:
+                msg: Message = data  # type: ignore[assignment]
+                proc = self.procs[msg.dst]
+                if self.tracer is not None:
+                    self.tracer.record(
+                        time, "deliver", msg.dst, f"from {msg.src} tag {msg.tag}"
+                    )
+                proc.mailbox.deliver(msg, time)
+                # Re-arm a parked MF call on *any* arrival: the replay
+                # controller also consumes unexpected messages (shadow-
+                # receive drains), not only request completions.
+                if proc.pending_call is not None:
+                    self._try_mf(proc, at_time=time)
+
+        if remaining:
+            blocked = [p.rank for p in self.procs if not p.done]
+            raise DeadlockError(blocked)
+        self.controller.finalize(self.procs)
+        self.stats.per_rank_time = [p.time for p in self.procs]
+        self.stats.virtual_time = max(self.stats.per_rank_time)
+        self.stats.total_mf_calls = sum(p.mf_calls for p in self.procs)
+        return self.stats
+
+    def _step(self, proc: SimProcess, value) -> None:
+        op = proc.step(value)
+        if proc.done:
+            return
+        if isinstance(op, Compute):
+            self._push(proc.time + op.seconds, _RESUME, (proc, None))
+        elif isinstance(op, MFCall):
+            proc.pending_call = op
+            proc.mf_calls += 1
+            self._try_mf(proc, at_time=proc.time)
+        else:
+            raise SimulationError(
+                f"rank {proc.rank} yielded {op!r}; expected Compute or MFCall"
+            )
+
+    def _try_mf(self, proc: SimProcess, at_time: float) -> None:
+        """Ask the controller whether the pending MF call can return."""
+        call = proc.pending_call
+        assert call is not None
+        result = self.controller.evaluate(proc, call)
+        if result is None:
+            self.controller.on_blocked(proc, call)
+            return  # stays parked; deliveries and tool events re-arm it
+        proc.pending_call = None
+        cost = self.mf_cost + self.controller.overhead(proc, call, result)
+        resume_at = max(proc.time, at_time) + cost
+        self._push(resume_at, _RESUME, (proc, result))
+
+
+def run_program(
+    nprocs: int,
+    program: Callable | Sequence[Callable],
+    network_seed: int = 0,
+    controller: MFController | None = None,
+    **engine_kwargs,
+) -> tuple[Engine, SimStats]:
+    """One-call convenience: build a network + engine and run to completion."""
+    engine = Engine(
+        nprocs,
+        program,
+        network=Network(seed=network_seed),
+        controller=controller,
+        **engine_kwargs,
+    )
+    stats = engine.run()
+    return engine, stats

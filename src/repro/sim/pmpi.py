@@ -1,0 +1,184 @@
+"""PMPI-style interception layer and the matching-function controller.
+
+The paper's tool sits between the application and MPI via the profiling
+interface (PMPI), piggybacking Lamport clocks and observing every matching
+function. Here the same seam is the :class:`MFController`: the engine
+routes every MF call through it, and record/replay modes are controller
+subclasses (:mod:`repro.replay.recorder`, :mod:`repro.replay.replayer`).
+
+The base controller implements *natural* (unrecorded) MPI semantics:
+
+====================  ====================================================
+``Test``              deliver the single request iff completed, else flag 0
+``Testany``           deliver the earliest completion, else flag 0
+``Testsome``          deliver everything currently completed, else flag 0
+``Testall``           deliver all iff all completed, else flag 0
+``Wait``/``Waitall``  block until all completed, deliver all
+``Waitany``           block until one completed, deliver the earliest
+``Waitsome``          block until one completed, deliver all completed
+====================  ====================================================
+
+Send requests complete at post time (buffered sends), so they are always
+deliverable; only receive completions are recorded (Section 3: message
+sends are deterministic once receives are replayed, Definition 7).
+
+Clocks update, events record, and results present in *delivery* order
+(completion order naturally; recorded order in replay), so the application
+iterates completions in exactly the replayed sequence.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.events import MFKind, MFOutcome, ReceiveEvent
+from repro.sim.communicator import MailBox
+from repro.sim.datatypes import Request
+from repro.sim.process import MFCall, MFResult, SimProcess, undelivered_sends
+
+
+def finalize_delivery(
+    proc: SimProcess,
+    call: MFCall,
+    recv_order: Sequence[Request],
+    sends: Sequence[Request],
+    flag: bool,
+) -> tuple[MFResult, MFOutcome | None]:
+    """Apply a delivery decision: tick clocks, mark state, build results.
+
+    ``recv_order`` is the order in which receive completions are handed to
+    the application — the order CDC records and replays. Returns the
+    application-facing result and the MF outcome to record (None when the
+    call involves no receive requests at all: pure send synchronization is
+    deterministic and outside the record, like the paper's sole focus on
+    receives).
+    """
+    for req in recv_order:
+        assert req.message is not None
+        proc.clock.on_receive(req.message.clock)
+        if proc.vector_clock is not None and req.message.vclock is not None:
+            proc.vector_clock.on_receive(req.message.vclock)
+    MailBox.mark_delivered(list(recv_order) + list(sends))
+
+    # Presentation order = delivery order for receives (sends trail, sorted
+    # by request position). The application therefore iterates messages in
+    # exactly the recorded order during replay. Request *indices* may bind
+    # differently between record and replay for wildcard receives — slots
+    # are interchangeable; applications must not attach semantics to the
+    # raw slot number beyond reposting (MCB-style patterns are fine).
+    index_of = {req: i for i, req in enumerate(call.requests)}
+    delivered = list(recv_order) + sorted(sends, key=lambda r: index_of[r])
+    result = MFResult(
+        flag=flag,
+        indices=tuple(index_of[r] for r in delivered),
+        messages=tuple(r.message for r in delivered),
+    )
+
+    outcome: MFOutcome | None = None
+    if any(r.is_recv for r in call.requests):
+        events = tuple(
+            ReceiveEvent(req.message.src, req.message.clock) for req in recv_order
+        )
+        if events:
+            outcome = MFOutcome(call.callsite, call.kind, events)
+        elif call.kind.is_test:
+            outcome = MFOutcome(call.callsite, call.kind, ())
+        # A wait-family call that delivered only sends produces no outcome:
+        # it matched nothing the record cares about and cannot be "unmatched".
+    return result, outcome
+
+
+class MFController:
+    """Natural-semantics controller (no recording, no replay)."""
+
+    mode = "passthrough"
+
+    def __init__(self) -> None:
+        self.engine = None
+
+    def attach(self, engine) -> None:
+        self.engine = engine
+
+    # -- the seam ----------------------------------------------------------
+
+    def evaluate(self, proc: SimProcess, call: MFCall) -> MFResult | None:
+        """Decide what ``call`` returns now, or None to keep it blocked."""
+        decision = self.decide(proc, call)
+        if decision is None:
+            return None
+        recv_order, sends, flag = decision
+        messages = [req.message for req in recv_order]
+        result, outcome = finalize_delivery(proc, call, recv_order, sends, flag)
+        if outcome is not None:
+            self.on_outcome(proc, outcome)
+        if messages:
+            self.on_delivery(proc, call, messages)
+        return result
+
+    def decide(
+        self, proc: SimProcess, call: MFCall
+    ) -> tuple[list[Request], list[Request], bool] | None:
+        """Natural MPI semantics: (recv delivery order, sends, flag) or block."""
+        kind = call.kind
+        sends = undelivered_sends(call.requests)
+        recvs = [r for r in call.requests if r.is_recv]
+        ready = MailBox.completed_undelivered(recvs)
+        all_done = all(r.completed or r.delivered for r in call.requests) and all(
+            r.completed for r in recvs
+        )
+
+        if kind in (MFKind.TEST, MFKind.WAIT):
+            req = call.requests[0]
+            if not req.is_recv:
+                return [], sends, True
+            if ready:
+                return ready[:1], [], True
+            return ([], [], False) if kind is MFKind.TEST else None
+        if kind in (MFKind.TESTANY, MFKind.WAITANY):
+            if ready:
+                return ready[:1], [], True
+            if sends:
+                return [], sends[:1], True
+            return ([], [], False) if kind is MFKind.TESTANY else None
+        if kind in (MFKind.TESTSOME, MFKind.WAITSOME):
+            if ready or sends:
+                return ready, sends, True
+            return ([], [], False) if kind is MFKind.TESTSOME else None
+        if kind in (MFKind.TESTALL, MFKind.WAITALL):
+            if all_done:
+                # The "all" family reports through the statuses array, which
+                # MPI fills in request order — so the application observes
+                # completions in request-array order, independent of arrival
+                # timing. This is what makes Irecv+Waitall halo exchanges
+                # *hidden deterministic* (Section 6.3).
+                index_of = {r: i for i, r in enumerate(call.requests)}
+                return sorted(ready, key=lambda r: index_of[r]), sends, True
+            return ([], [], False) if kind is MFKind.TESTALL else None
+        raise AssertionError(f"unhandled MF kind {kind}")  # pragma: no cover
+
+    # -- hooks for subclasses ----------------------------------------------
+
+    def on_outcome(self, proc: SimProcess, outcome: MFOutcome) -> None:
+        """Called after every recordable MF delivery (record mode hooks in)."""
+
+    def on_blocked(self, proc: SimProcess, call: MFCall) -> None:
+        """Called when an MF call parks (replay mode launches clock beacons)."""
+
+    def on_delivery(self, proc: SimProcess, call: MFCall, messages) -> None:
+        """Called with the delivered messages, in delivery order.
+
+        Gives analysis controllers access to full message metadata (e.g.
+        vector-clock piggybacks) that the recorded events intentionally
+        drop.
+        """
+
+    def overhead(self, proc: SimProcess, call: MFCall, result: MFResult) -> float:
+        """Extra virtual time this MF call costs (recording overhead model)."""
+        return 0.0
+
+    def piggyback_bytes(self) -> int:
+        """Per-message piggyback payload this mode adds (0 when off)."""
+        return 0
+
+    def finalize(self, procs: Sequence[SimProcess]) -> None:
+        """End of run: flush chunks, close stores."""

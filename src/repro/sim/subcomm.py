@@ -1,0 +1,152 @@
+"""Sub-communicators (MPI_Comm_split) over the simulated world.
+
+A :class:`SubComm` is a pure translation layer: local ranks map to world
+ranks through the member list, and user tags shift into a per-communicator
+tag space derived from a deterministically-allocated context id (the way
+real MPI implementations isolate communicators). No engine or matching
+changes are needed — which also means CDC recording and replay work through
+sub-communicators untouched: receives are still world-level receives with
+unique piggybacked clocks.
+
+Collective algorithms are *shared* with the world context: ``SubComm``
+borrows :class:`~repro.sim.process.Ctx`'s generator methods (they only use
+``self.rank`` / ``self.nprocs`` / ``self.isend`` / ``self.irecv`` /
+``self.wait...``, all of which this class provides in translated form).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.errors import CommunicatorError
+from repro.sim.datatypes import ANY_SOURCE, ANY_TAG, Request
+from repro.sim.process import Compute, Ctx, MFCall
+
+#: width of one communicator's tag space; user tags must stay below this.
+TAG_SPACE = 10_000_000
+
+
+class SubComm:
+    """A communicator over a subset of world ranks."""
+
+    def __init__(self, world: Ctx, members: Sequence[int], context_id: int) -> None:
+        if len(set(members)) != len(members):
+            raise CommunicatorError("duplicate ranks in sub-communicator")
+        if world.rank not in members:
+            raise CommunicatorError(
+                f"world rank {world.rank} is not a member of this communicator"
+            )
+        self._world = world
+        self._members = list(members)
+        self._context_id = context_id
+
+    # -- identity --------------------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """This process's rank *within* the sub-communicator."""
+        return self._members.index(self._world.rank)
+
+    @property
+    def nprocs(self) -> int:
+        return len(self._members)
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """World ranks, in sub-communicator rank order."""
+        return tuple(self._members)
+
+    @property
+    def context_id(self) -> int:
+        return self._context_id
+
+    @property
+    def now(self) -> float:
+        return self._world.now
+
+    @property
+    def clock(self) -> int:
+        return self._world.clock
+
+    # -- translation -------------------------------------------------------------
+
+    def _xtag(self, tag: int) -> int:
+        if tag != ANY_TAG and abs(tag) >= TAG_SPACE:
+            raise CommunicatorError(f"tag {tag} outside the per-communicator space")
+        if tag == ANY_TAG:
+            # a wildcard tag would cross communicator boundaries; confine it
+            raise CommunicatorError(
+                "ANY_TAG is not supported on sub-communicators (it would "
+                "match other communicators' traffic); use explicit tags"
+            )
+        return self._context_id * TAG_SPACE + tag
+
+    def _global(self, local_rank: int) -> int:
+        if not 0 <= local_rank < self.nprocs:
+            raise CommunicatorError(f"bad sub-communicator rank {local_rank}")
+        return self._members[local_rank]
+
+    def _global_rank(self, local_rank: int) -> int:  # comm_split support
+        return self._global(local_rank)
+
+    def _world_ctx(self) -> Ctx:
+        return self._world
+
+    def _alloc_context_id(self) -> int:
+        return Ctx._alloc_context_id(self)
+
+    # -- point to point -----------------------------------------------------------
+
+    def isend(self, dest: int, payload: Any, tag: int = 0) -> Request:
+        return self._world.isend(self._global(dest), payload, self._xtag(tag))
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = 0) -> Request:
+        src = ANY_SOURCE if source == ANY_SOURCE else self._global(source)
+        return self._world.irecv(src, self._xtag(tag))
+
+    def cancel(self, req: Request) -> None:
+        self._world.cancel(req)
+
+    def compute(self, seconds: float) -> Compute:
+        return Compute(seconds)
+
+    # -- matching functions (delegate; requests are world-level) --------------------
+
+    def test(self, req, callsite=None) -> MFCall:
+        return self._world.test(req, callsite or self._auto_callsite())
+
+    def testany(self, reqs, callsite=None) -> MFCall:
+        return self._world.testany(reqs, callsite or self._auto_callsite())
+
+    def testsome(self, reqs, callsite=None) -> MFCall:
+        return self._world.testsome(reqs, callsite or self._auto_callsite())
+
+    def testall(self, reqs, callsite=None) -> MFCall:
+        return self._world.testall(reqs, callsite or self._auto_callsite())
+
+    def wait(self, req, callsite=None) -> MFCall:
+        return self._world.wait(req, callsite or self._auto_callsite())
+
+    def waitany(self, reqs, callsite=None) -> MFCall:
+        return self._world.waitany(reqs, callsite or self._auto_callsite())
+
+    def waitsome(self, reqs, callsite=None) -> MFCall:
+        return self._world.waitsome(reqs, callsite or self._auto_callsite())
+
+    def waitall(self, reqs, callsite=None) -> MFCall:
+        return self._world.waitall(reqs, callsite or self._auto_callsite())
+
+    _auto_callsite = staticmethod(Ctx._auto_callsite)
+
+    # -- collectives: share the world implementations ------------------------------
+    # (generator functions bind to SubComm's translated rank/size/p2p)
+
+    recv = Ctx.recv
+    barrier = Ctx.barrier
+    bcast = Ctx.bcast
+    gather = Ctx.gather
+    allreduce = Ctx.allreduce
+    reduce = Ctx.reduce
+    scatter = Ctx.scatter
+    alltoall = Ctx.alltoall
+    comm_split = Ctx.comm_split

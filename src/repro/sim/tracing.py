@@ -1,0 +1,107 @@
+"""Engine event tracing: a flight recorder for the simulator itself.
+
+Debugging a *workload* (who stalled? which message unblocked rank 3?) needs
+visibility below the MF level. An :class:`EngineTracer` attached to the
+engine records every resume and delivery into a bounded ring buffer, with
+cheap summaries and a time-window query.
+
+This traces the *simulator*; the CDC record traces the *application*. The
+two answer different questions and only the latter costs bytes at scale.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One engine-level event."""
+
+    time: float
+    kind: str  # resume | deliver | callback
+    rank: int  # destination/acting rank (-1 for global callbacks)
+    detail: str = ""
+
+
+@dataclass
+class EngineTracer:
+    """Bounded flight recorder of engine events."""
+
+    capacity: int = 100_000
+    events: deque = field(init=False)
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.events = deque(maxlen=self.capacity)
+
+    # -- engine-facing ------------------------------------------------------
+
+    def record(self, time: float, kind: str, rank: int, detail: str = "") -> None:
+        if len(self.events) == self.events.maxlen:
+            self.dropped += 1
+        self.events.append(TraceEvent(time, kind, rank, detail))
+
+    # -- queries ---------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def counts(self) -> dict[str, int]:
+        """Events per kind."""
+        return dict(Counter(ev.kind for ev in self.events))
+
+    def per_rank(self) -> dict[int, int]:
+        return dict(Counter(ev.rank for ev in self.events))
+
+    def window(self, start: float, end: float) -> list[TraceEvent]:
+        """Events with ``start <= time < end`` (buffered portion only)."""
+        return [ev for ev in self.events if start <= ev.time < end]
+
+    def last(self, n: int = 20) -> list[TraceEvent]:
+        return list(self.events)[-n:]
+
+    def gaps(self, threshold: float) -> list[tuple[float, float]]:
+        """Quiet periods longer than ``threshold`` — stall detection."""
+        out = []
+        prev: float | None = None
+        for ev in self.events:
+            if prev is not None and ev.time - prev > threshold:
+                out.append((prev, ev.time))
+            prev = ev.time
+        return out
+
+    def render(self, n: int = 20) -> str:
+        lines = [f"engine trace ({len(self.events)} buffered, {self.dropped} dropped)"]
+        for ev in self.last(n):
+            lines.append(f"  {ev.time:.9f}  {ev.kind:<8} rank {ev.rank:<4} {ev.detail}")
+        return "\n".join(lines)
+
+
+def format_timeline(events: Iterable[TraceEvent], width: int = 60) -> str:
+    """ASCII density timeline: one row per rank, darker = busier."""
+    events = list(events)
+    if not events:
+        return "(no events)"
+    t0 = min(ev.time for ev in events)
+    t1 = max(ev.time for ev in events) or (t0 + 1e-12)
+    span = max(t1 - t0, 1e-12)
+    ranks = sorted({ev.rank for ev in events})
+    grid = {r: [0] * width for r in ranks}
+    for ev in events:
+        col = min(width - 1, int((ev.time - t0) / span * width))
+        grid[ev.rank][col] += 1
+    shades = " .:*#"
+    peak = max(max(row) for row in grid.values()) or 1
+    lines = []
+    for rank in ranks:
+        cells = "".join(
+            shades[min(len(shades) - 1, count * (len(shades) - 1) // peak)]
+            for count in grid[rank]
+        )
+        lines.append(f"rank {rank:>3} |{cells}|")
+    return "\n".join(lines)

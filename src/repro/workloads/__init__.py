@@ -1,0 +1,70 @@
+"""Benchmark workloads: MCB (non-deterministic), Jacobi (hidden-
+deterministic), and parametric synthetic traffic."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from repro.workloads import coupled, jacobi, mcb, synthetic, unstructured
+from repro.workloads.coupled import CoupledConfig
+from repro.workloads.jacobi import JacobiConfig
+from repro.workloads.mcb import MCBConfig, neighbors_of, tracks_per_second
+from repro.workloads.synthetic import SyntheticConfig
+from repro.workloads.unstructured import UnstructuredConfig
+
+#: name -> (config class, program builder) — the CLI and tools registry.
+REGISTRY: dict[str, tuple[type, Callable]] = {
+    "mcb": (MCBConfig, mcb.build_program),
+    "jacobi": (JacobiConfig, jacobi.build_program),
+    "synthetic": (SyntheticConfig, synthetic.build_program),
+    "unstructured": (UnstructuredConfig, unstructured.build_program),
+    "coupled": (CoupledConfig, coupled.build_program),
+}
+
+
+def make_workload(name: str, nprocs: int, **overrides: Any):
+    """Instantiate a registered workload: returns (program, config).
+
+    ``overrides`` are coerced to the config dataclass' field types, so
+    string-valued CLI parameters work directly.
+    """
+    try:
+        config_cls, builder = REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r}; choose from {sorted(REGISTRY)}"
+        ) from None
+    fields = {f.name: f for f in dataclasses.fields(config_cls)}
+    kwargs: dict[str, Any] = {"nprocs": nprocs}
+    for key, value in overrides.items():
+        field = fields.get(key)
+        if field is None:
+            raise ValueError(
+                f"workload {name!r} has no parameter {key!r}; "
+                f"valid: {sorted(set(fields) - {'nprocs'})}"
+            )
+        if isinstance(value, str) and field.type in ("int", "float", "str", int, float, str):
+            caster = {"int": int, "float": float, "str": str}.get(field.type, field.type)
+            value = caster(value)
+        kwargs[key] = value
+    config = config_cls(**kwargs)
+    return builder(config), config
+
+
+__all__ = [
+    "CoupledConfig",
+    "JacobiConfig",
+    "MCBConfig",
+    "REGISTRY",
+    "SyntheticConfig",
+    "UnstructuredConfig",
+    "coupled",
+    "jacobi",
+    "make_workload",
+    "mcb",
+    "neighbors_of",
+    "synthetic",
+    "tracks_per_second",
+    "unstructured",
+]

@@ -1,0 +1,121 @@
+"""Parametric synthetic traffic for stress tests and sweeps.
+
+Generates configurable point-to-point patterns so the benchmarks can sweep
+the dimensions that drive CDC's behaviour independently of MCB's physics:
+
+* ``messages_per_rank`` / ``fanout`` — event volume and sender diversity;
+* ``disorder`` — send *burstiness*: messages are emitted in back-to-back
+  bursts of ``1 + round(2 * disorder)`` sends. Within a burst the network's
+  latency jitter dominates the send spacing, so arrival (and hence
+  observed) order randomizes — directly controlling the permutation
+  percentage of Figure 14;
+* ``poll_style`` — ``testsome`` (MCB-like polling, produces unmatched-test
+  runs) or ``waitany`` (no unmatched events).
+
+Every rank both sends and receives; receives use ``MPI_ANY_SOURCE``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.datatypes import ANY_SOURCE
+
+DATA_TAG = 21
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Workload parameters."""
+
+    nprocs: int
+    messages_per_rank: int = 20
+    #: each rank sends to its `fanout` successors on the ring.
+    fanout: int = 3
+    #: send burstiness (0 = evenly spaced sends, larger = bigger
+    #: back-to-back bursts whose arrival order randomizes).
+    disorder: float = 1.0
+    #: "testsome" (polling) or "waitany" (blocking).
+    poll_style: str = "testsome"
+    seed: int = 99
+    #: base virtual time between two sends of one rank.
+    send_spacing: float = 5.0e-6
+    compute_cost: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 2:
+            raise ValueError("need at least 2 ranks")
+        if not 1 <= self.fanout < self.nprocs:
+            raise ValueError("fanout must be in [1, nprocs)")
+        if self.poll_style not in ("testsome", "waitany"):
+            raise ValueError("poll_style must be 'testsome' or 'waitany'")
+        if self.disorder < 0:
+            raise ValueError("disorder must be >= 0")
+
+    @property
+    def receives_per_rank(self) -> int:
+        return self.messages_per_rank * self.fanout
+
+
+def build_program(config: SyntheticConfig) -> Callable:
+    """Create the per-rank generator for the synthetic pattern.
+
+    Each rank sends ``messages_per_rank`` messages to each of its ``fanout``
+    ring successors (jittered in time) while concurrently receiving its own
+    ``receives_per_rank`` messages from its ``fanout`` ring predecessors.
+    """
+
+    def program(ctx):
+        cfg = config
+        rank, size = ctx.rank, ctx.nprocs
+        rng = random.Random(cfg.seed * 7919 + rank)
+        senders = [(rank - k - 1) % size for k in range(cfg.fanout)]
+
+        # one rolling wildcard receive per predecessor
+        reqs = [ctx.irecv(source=ANY_SOURCE, tag=DATA_TAG) for _ in senders]
+
+        to_send = [
+            ((rank + k + 1) % size, i)
+            for i in range(cfg.messages_per_rank)
+            for k in range(cfg.fanout)
+        ]
+        rng.shuffle(to_send)
+
+        received: list[tuple[int, int]] = []
+        checksum = 0.0
+        expected = cfg.receives_per_rank
+        send_cursor = 0
+        burst = 1 + round(2 * cfg.disorder)
+
+        while len(received) < expected or send_cursor < len(to_send):
+            if send_cursor < len(to_send):
+                yield ctx.compute(cfg.send_spacing)
+                for _ in range(burst):
+                    if send_cursor >= len(to_send):
+                        break
+                    dest, seq = to_send[send_cursor]
+                    send_cursor += 1
+                    ctx.isend(dest, (rank, seq), tag=DATA_TAG)
+            else:
+                yield ctx.compute(cfg.compute_cost)
+
+            if len(received) >= expected:
+                continue
+            if cfg.poll_style == "testsome":
+                res = yield ctx.testsome(reqs, callsite="synthetic:poll")
+            else:
+                res = yield ctx.waitany(reqs, callsite="synthetic:wait")
+            for idx, msg in zip(res.indices, res.messages):
+                if msg is None:
+                    continue
+                received.append(msg.payload)
+                checksum = checksum * (1.0 + 1e-9) + msg.payload[0] + 0.01 * msg.payload[1]
+                reqs[idx] = ctx.irecv(source=ANY_SOURCE, tag=DATA_TAG)
+
+        for req in reqs:
+            ctx.cancel(req)
+        return {"checksum": checksum, "received": len(received)}
+
+    return program

@@ -1,0 +1,174 @@
+"""Unstructured-mesh halo exchange: irregular neighbor graphs.
+
+MCB and Jacobi live on regular grids; many production codes (finite
+elements, AMR) exchange halos over an *irregular* partition graph where
+neighbor counts and message sizes vary per rank. This workload builds a
+random geometric graph with networkx, partitions vertices over ranks, and
+iterates a Jacobi-like smoothing where each rank:
+
+* posts one wildcard-source receive per neighbor (expected halo count),
+* sends its boundary values to each neighbor,
+* polls ``Waitsome`` until all halos arrive (completion order varies —
+  recorded non-determinism), applying updates *in arrival order* so the
+  smoothed values are order-sensitive in floating point.
+
+The per-rank degree spread stresses CDC's per-sender tables (epoch lines,
+quota counts) far harder than a 4-neighbor grid does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import networkx as nx
+
+from repro.sim.datatypes import ANY_SOURCE
+
+HALO_TAG = 31
+
+
+@dataclass(frozen=True)
+class UnstructuredConfig:
+    """Workload parameters."""
+
+    nprocs: int
+    #: mesh vertices (partitioned round-robin over ranks).
+    vertices: int = 96
+    #: geometric connection radius (bigger -> denser neighbor graphs).
+    radius: float = 0.35
+    iterations: int = 10
+    seed: int = 404
+    smoothing: float = 0.5
+    compute_cost: float = 2.0e-6
+
+    def __post_init__(self) -> None:
+        if self.nprocs < 2:
+            raise ValueError("need at least 2 ranks")
+        if self.vertices < self.nprocs:
+            raise ValueError("need at least one vertex per rank")
+        if not 0 < self.radius <= 1.5:
+            raise ValueError("radius must be in (0, 1.5]")
+        if self.iterations < 1:
+            raise ValueError("need at least one iteration")
+
+    def build_mesh(self) -> nx.Graph:
+        """The shared mesh every rank derives its neighbor lists from."""
+        graph = nx.random_geometric_graph(
+            self.vertices, self.radius, seed=self.seed
+        )
+        # guarantee connectivity so every rank participates
+        components = list(nx.connected_components(graph))
+        for a, b in zip(components, components[1:]):
+            graph.add_edge(next(iter(a)), next(iter(b)))
+        return graph
+
+
+def partition(config: UnstructuredConfig) -> dict[int, int]:
+    """vertex -> owning rank: balanced spatial strips.
+
+    Vertices are sorted by position and sliced into contiguous blocks, so
+    each rank owns a spatial region and only ranks with adjacent regions
+    exchange halos — giving the irregular, locality-driven neighbor graphs
+    the workload exists to exercise.
+    """
+    mesh = config.build_mesh()
+    pos = nx.get_node_attributes(mesh, "pos")
+    ordered = sorted(range(config.vertices), key=lambda v: (pos[v][0], pos[v][1]))
+    owner: dict[int, int] = {}
+    base, extra = divmod(config.vertices, config.nprocs)
+    start = 0
+    for rank in range(config.nprocs):
+        size = base + (1 if rank < extra else 0)
+        for v in ordered[start : start + size]:
+            owner[v] = rank
+        start += size
+    return owner
+
+
+def rank_topology(config: UnstructuredConfig):
+    """Per-rank neighbor structure derived from the mesh.
+
+    Returns ``(neighbors, shared_edges)`` where ``neighbors[r]`` is the
+    sorted list of ranks sharing at least one cut edge with ``r`` and
+    ``shared_edges[(r, s)]`` the cut edges between them (both directions
+    present).
+    """
+    mesh = config.build_mesh()
+    owner = partition(config)
+    neighbors: dict[int, set[int]] = {r: set() for r in range(config.nprocs)}
+    shared: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for u, v in mesh.edges():
+        ru, rv = owner[u], owner[v]
+        if ru == rv:
+            continue
+        neighbors[ru].add(rv)
+        neighbors[rv].add(ru)
+        shared.setdefault((ru, rv), []).append((u, v))
+        shared.setdefault((rv, ru), []).append((v, u))
+    return {r: sorted(s) for r, s in neighbors.items()}, shared
+
+
+def build_program(config: UnstructuredConfig) -> Callable:
+    """Create the per-rank generator implementing the halo pattern."""
+    neighbors, shared = rank_topology(config)
+    owner = partition(config)
+
+    def program(ctx):
+        cfg = config
+        rank = ctx.rank
+        nbrs = neighbors[rank]
+        mine = sorted(v for v, r in owner.items() if r == rank)
+        values = {v: float((v * 2654435761) % 1000) / 1000.0 for v in mine}
+        ghost: dict[int, float] = {}
+
+        checksum = 0.0
+        for it in range(cfg.iterations):
+            # per-iteration tags: a neighbor running ahead must not have its
+            # next-iteration halo matched into this one (the wildcard is on
+            # the *source* only — the order of neighbors still varies)
+            tag = HALO_TAG + it
+            reqs = [ctx.irecv(source=ANY_SOURCE, tag=tag) for _ in nbrs]
+            for nbr in nbrs:
+                boundary = [
+                    (u, values[u]) for u, v in shared[(rank, nbr)]
+                ]
+                ctx.isend(nbr, boundary, tag=tag)
+
+            got = 0
+            while got < len(reqs):
+                res = yield ctx.waitsome(reqs, callsite="mesh:halo")
+                for msg in res.messages:
+                    if msg is None:
+                        continue
+                    got += 1
+                    # arrival-order-sensitive accumulation
+                    for u, value in msg.payload:
+                        ghost[u] = value
+                        checksum = checksum * (1.0 + 1e-12) + value
+            yield ctx.compute(cfg.compute_cost)
+
+            # smooth owned vertices toward neighbor averages
+            new_values = {}
+            for v in mine:
+                nbr_vals = []
+                for nbr in nbrs:
+                    for a, b in shared[(nbr, rank)]:
+                        if b == v and a in ghost:
+                            nbr_vals.append(ghost[a])
+                if nbr_vals:
+                    avg = sum(nbr_vals) / len(nbr_vals)
+                    new_values[v] = (
+                        (1 - cfg.smoothing) * values[v] + cfg.smoothing * avg
+                    )
+                else:
+                    new_values[v] = values[v]
+            values = new_values
+
+        return {
+            "checksum": checksum,
+            "degree": len(nbrs),
+            "value_sum": sum(values.values()),
+        }
+
+    return program

@@ -1,0 +1,45 @@
+"""Replayable-clock study (Section 4.3 future work)."""
+
+import pytest
+
+from repro.analysis.clock_study import run_clock_study
+from repro.workloads import mcb, synthetic
+
+
+class TestClockStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        cfg = synthetic.SyntheticConfig(
+            nprocs=8, messages_per_rank=15, fanout=3, disorder=2.0
+        )
+        return run_clock_study(8, synthetic.build_program(cfg), network_seed=5)
+
+    def test_scores_every_active_stream(self, study):
+        assert study.per_stream
+        for (rank, callsite), (lam, vec) in study.per_stream.items():
+            assert 0 <= rank < 8
+            assert 0.0 <= lam <= 1.0
+            assert 0.0 <= vec <= 1.0
+
+    def test_means_within_unit_interval(self, study):
+        lam, vec = study.means()
+        assert 0.0 <= lam <= 1.0 and 0.0 <= vec <= 1.0
+
+    def test_vector_piggyback_scales_with_ranks(self, study):
+        lam_bytes, vec_bytes = study.piggyback_bytes()
+        assert lam_bytes == 8
+        assert vec_bytes == 8 * 8
+
+    def test_mcb_study_runs(self):
+        cfg = mcb.MCBConfig(nprocs=6, particles_per_rank=20, seed=3)
+        study = run_clock_study(6, mcb.build_program(cfg), network_seed=2)
+        lam, vec = study.means()
+        # both orders capture most of the similarity on MCB traffic
+        assert lam < 0.7 and vec < 0.7
+
+    def test_deterministic_given_seed(self):
+        cfg = synthetic.SyntheticConfig(nprocs=5, messages_per_rank=10, fanout=2)
+        program = synthetic.build_program(cfg)
+        a = run_clock_study(5, program, network_seed=9)
+        b = run_clock_study(5, program, network_seed=9)
+        assert a.per_stream == b.per_stream

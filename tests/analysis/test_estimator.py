@@ -1,0 +1,56 @@
+"""Figure 15 growth estimation."""
+
+import pytest
+
+from repro.analysis.estimator import (
+    GrowthCurve,
+    MethodRate,
+    budget_comparison,
+)
+
+
+@pytest.fixture
+def gzip_rate():
+    # ~5.7 B/event at 258 events/s/process, the paper's ballpark
+    return MethodRate("gzip", bytes_per_event=5.7, events_per_second=258.0)
+
+
+@pytest.fixture
+def cdc_rate():
+    return MethodRate("CDC", bytes_per_event=0.51, events_per_second=258.0)
+
+
+class TestGrowthCurve:
+    def test_linear_growth(self, gzip_rate):
+        curve = GrowthCurve(gzip_rate, procs_per_node=24)
+        assert curve.bytes_at(2) == pytest.approx(2 * curve.bytes_at(1))
+
+    def test_paper_budget_story(self, gzip_rate, cdc_rate):
+        """500 MB: ~5 h of gzip vs >24 h of CDC (Section 6.1)."""
+        gzip_hours = GrowthCurve(gzip_rate).hours_until(500e6)
+        cdc_hours = GrowthCurve(cdc_rate).hours_until(500e6)
+        assert 2 < gzip_hours < 12
+        assert cdc_hours > 24
+
+    def test_series_shape(self, cdc_rate):
+        series = GrowthCurve(cdc_rate).series([0, 5, 10])
+        assert series[0] == (0, 0.0)
+        assert series[2][1] == pytest.approx(2 * series[1][1])
+
+    def test_zero_rate_never_fills(self):
+        rate = MethodRate("idle", 0.0, 100.0)
+        assert GrowthCurve(rate).hours_until(1) == float("inf")
+
+    def test_intensity_scales_rate(self):
+        base = MethodRate("m", 1.0, 100.0, comm_intensity=1.0)
+        hot = MethodRate("m", 1.0, 200.0, comm_intensity=2.0)
+        assert GrowthCurve(hot).mb_at(1) == 2 * GrowthCurve(base).mb_at(1)
+
+
+class TestBudgetComparison:
+    def test_labels_and_values(self, gzip_rate, cdc_rate):
+        result = budget_comparison(
+            [GrowthCurve(gzip_rate), GrowthCurve(cdc_rate)], budget_bytes=500e6
+        )
+        assert set(result) == {"gzip x1", "CDC x1"}
+        assert result["CDC x1"] > result["gzip x1"]

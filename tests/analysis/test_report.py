@@ -1,0 +1,40 @@
+"""Text rendering helpers."""
+
+from repro.analysis.report import human_bytes, render_histogram, render_table
+
+
+class TestRenderTable:
+    def test_contains_title_headers_and_rows(self):
+        text = render_table("My Table", ["a", "b"], [(1, "x"), (23456, "y")])
+        assert "My Table" in text
+        assert "a" in text and "b" in text
+        assert "23,456" in text
+
+    def test_note_appended(self):
+        text = render_table("T", ["c"], [(1,)], note="hello")
+        assert text.endswith("note: hello")
+
+    def test_float_formatting(self):
+        text = render_table("T", ["v"], [(0.5,), (1234567.0,), (0.0001,)])
+        assert "0.5" in text and "1.23e+06" in text and "0.0001" in text
+
+    def test_empty_rows(self):
+        text = render_table("T", ["x"], [])
+        assert "T" in text
+
+
+class TestRenderHistogram:
+    def test_bars_scale_with_counts(self):
+        text = render_histogram("H", [(0.0, 1), (0.5, 10)])
+        lines = text.splitlines()
+        assert lines[-1].count("#") > lines[-2].count("#")
+
+    def test_empty_bins(self):
+        assert "H" in render_histogram("H", [])
+
+
+class TestHumanBytes:
+    def test_scaling(self):
+        assert human_bytes(500) == "500 B"
+        assert human_bytes(1_500_000) == "1.5 MB"
+        assert human_bytes(2.5e9) == "2.5 GB"

@@ -1,0 +1,61 @@
+"""Figure 1 / Figure 14 analyses."""
+
+import pytest
+
+from repro.analysis.similarity import (
+    ClockSeries,
+    PermutationHistogram,
+    clock_series,
+    permutation_histogram,
+)
+from repro.core.events import MFKind, MFOutcome, ReceiveEvent
+
+
+def outs(clocks, callsite="a"):
+    return [
+        MFOutcome(callsite, MFKind.TEST, (ReceiveEvent(0, c),)) for c in clocks
+    ]
+
+
+class TestClockSeries:
+    def test_extracts_clocks_in_observed_order(self):
+        series = clock_series(outs([5, 3, 9]), rank=0)
+        assert series.clocks == (5, 3, 9)
+
+    def test_callsite_filter(self):
+        stream = outs([1, 2], "a") + outs([10], "b")
+        assert clock_series(stream, 0, "b").clocks == (10,)
+
+    def test_monotone_fraction_and_inversions(self):
+        series = ClockSeries(0, (1, 3, 2, 4))
+        assert series.monotone_fraction == pytest.approx(2 / 3)
+        assert series.inversions() == 1
+
+    def test_empty_series(self):
+        series = ClockSeries(0, ())
+        assert series.monotone_fraction == 1.0
+        assert series.inversions() == 0
+
+
+class TestPermutationHistogram:
+    def test_per_rank_percentages(self):
+        streams = {
+            0: outs([1, 2, 3]),        # fully ordered -> 0%
+            1: outs([3, 2, 1]),        # reversed -> 2/3 moved
+        }
+        hist = permutation_histogram(streams)
+        assert hist.percentages[0] == 0.0
+        assert hist.percentages[1] == pytest.approx(2 / 3)
+
+    def test_mean(self):
+        hist = PermutationHistogram((0.2, 0.4))
+        assert hist.mean == pytest.approx(0.3)
+
+    def test_bins_cover_unit_interval(self):
+        hist = PermutationHistogram((0.0, 0.5, 1.0), bin_width=0.25)
+        bins = hist.bins()
+        assert [b[0] for b in bins] == [0.0, 0.25, 0.5, 0.75, 1.0]
+        assert [b[1] for b in bins] == [1, 0, 1, 0, 1]
+
+    def test_empty(self):
+        assert PermutationHistogram(()).mean == 0.0

@@ -1,0 +1,87 @@
+"""Byte-exact size model vs the real serializer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.size_model import (
+    SizeBreakdown,
+    archive_breakdown,
+    chunk_breakdown,
+)
+from repro.core.events import ReceiveEvent
+from repro.core.formats import serialize_cdc_chunks
+from repro.core.pipeline import encode_chunk
+from repro.core.record_table import RecordTable
+from tests.core.test_pipeline import random_events
+
+
+def serialized_chunk_bytes(chunk):
+    """Actual bytes one chunk occupies in a single-chunk stream, minus the
+    stream preamble (magic + string table + count)."""
+    data = serialize_cdc_chunks([chunk])
+    raw_cs = chunk.callsite.encode("utf-8")
+    preamble = 4 + 1 + 1 + len(raw_cs) + 1  # magic, n_cs, len, cs, n_chunks
+    return len(data) - preamble
+
+
+class TestExactness:
+    @given(
+        st.integers(1, 5),
+        st.integers(0, 50),
+        st.integers(0, 10**6),
+        st.booleans(),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_breakdown_total_matches_serializer(self, senders, n, seed, assist):
+        events = random_events(senders, n, seed)
+        unmatched = ((0, 3), (n, 1)) if n else ((0, 2),)
+        with_next = (0,) if n >= 2 else ()
+        table = RecordTable("cs", tuple(events), with_next, tuple(unmatched))
+        chunk = encode_chunk(table, replay_assist=assist)
+        breakdown = chunk_breakdown(chunk, callsite_id=0)
+        assert breakdown.total == serialized_chunk_bytes(chunk)
+
+    def test_archive_breakdown_matches_uncompressed_archive(self, mcb_record):
+        import zlib
+
+        _, _, result = mcb_record
+        breakdown = archive_breakdown(result.archive)
+        actual = sum(
+            len(serialize_cdc_chunks(result.archive.chunks(r)))
+            for r in range(result.archive.nprocs)
+        )
+        assert breakdown.total == actual
+
+
+class TestAttribution:
+    def test_in_order_chunk_pays_nothing_for_permutation(self):
+        events = [ReceiveEvent(0, c) for c in range(1, 30)]
+        chunk = encode_chunk(RecordTable("cs", tuple(events), (), ()))
+        b = chunk_breakdown(chunk)
+        assert b.permutation <= 2  # two empty-array length prefixes
+        assert b.epoch > 0
+
+    def test_permuted_chunk_pays_in_permutation_table(self):
+        rng = random.Random(0)
+        events = random_events(4, 60, 1)
+        chunk = encode_chunk(RecordTable("cs", tuple(events), (), ()))
+        b = chunk_breakdown(chunk)
+        if chunk.diff.num_moved > 10:
+            assert b.permutation > b.epoch / 2
+
+    def test_per_event_shares_sum_to_total(self):
+        events = random_events(3, 40, 5)
+        chunk = encode_chunk(RecordTable("cs", tuple(events), (), ((0, 2),)))
+        b = chunk_breakdown(chunk)
+        shares = b.per_event()
+        assert sum(shares.values()) * b.events == pytest.approx(b.total)
+
+    def test_add_accumulates(self):
+        a = SizeBreakdown(permutation=5, events=10, chunks=1)
+        b = SizeBreakdown(permutation=7, epoch=3, events=20, chunks=2)
+        a.add(b)
+        assert a.permutation == 12 and a.epoch == 3
+        assert a.events == 30 and a.chunks == 3

@@ -1,0 +1,114 @@
+"""The five Figure 13 methods over synthetic outcome streams."""
+
+import random
+
+import pytest
+
+from repro.core.compression import (
+    ALL_METHODS,
+    MERGED_CALLSITE,
+    CompressionReport,
+    Method,
+    aggregate_reports,
+    compare_methods,
+    compress,
+)
+from repro.core.events import MFKind, MFOutcome, ReceiveEvent
+
+
+def stream(n_events, n_senders=4, disorder=2, unmatched_every=3, seed=0, callsites=("a",)):
+    """Nearly clock-ordered stream with tunable disorder and polling."""
+    rng = random.Random(seed)
+    clocks = {s: 0 for s in range(n_senders)}
+    events = []
+    for _ in range(n_events):
+        s = rng.randrange(n_senders)
+        clocks[s] += rng.randrange(1, 3)
+        events.append(ReceiveEvent(s, clocks[s] * n_senders + s))
+    # local shuffles emulate network jitter
+    for _ in range(disorder * n_events // 10):
+        i = rng.randrange(max(1, n_events - 1))
+        events[i], events[i + 1] = events[i + 1], events[i]
+    outs = []
+    for i, ev in enumerate(events):
+        cs = callsites[i % len(callsites)]
+        if unmatched_every and i % unmatched_every == 0:
+            outs.append(MFOutcome(cs, MFKind.TEST, ()))
+        outs.append(MFOutcome(cs, MFKind.TEST, (ev,)))
+    return outs
+
+
+class TestMethods:
+    @pytest.mark.parametrize("method", ALL_METHODS)
+    def test_every_method_produces_bytes(self, method):
+        data = compress(stream(100), method)
+        assert isinstance(data, bytes) and data
+
+    def test_raw_is_largest(self):
+        outs = stream(300)
+        report = compare_methods(outs)
+        raw = report.sizes[Method.RAW]
+        assert all(raw >= s for s in report.sizes.values())
+
+    def test_cdc_beats_gzip_on_mostly_ordered_traffic(self):
+        outs = stream(1500, disorder=2)
+        report = compare_methods(outs)
+        assert report.sizes[Method.CDC] < report.sizes[Method.GZIP]
+
+    def test_stage_ordering_on_large_stream(self):
+        """Figure 13's staircase: each added stage helps."""
+        outs = stream(3000, disorder=2)
+        report = compare_methods(outs)
+        assert (
+            report.sizes[Method.RAW]
+            > report.sizes[Method.GZIP]
+            > report.sizes[Method.CDC_RE]
+            > report.sizes[Method.CDC_RE_PE_LPE]
+        )
+
+    def test_mf_identification_helps_with_mixed_callsites(self):
+        """Section 4.4: separate per-callsite tables follow their own
+        reference orders better than one merged table."""
+        outs = stream(2000, disorder=3, callsites=("a", "b", "c"), seed=3)
+        report = compare_methods(outs)
+        assert report.sizes[Method.CDC] <= report.sizes[Method.CDC_RE_PE_LPE]
+
+    def test_empty_stream(self):
+        report = compare_methods([])
+        assert report.num_receive_events == 0
+
+
+class TestReport:
+    def test_bytes_per_event(self):
+        report = CompressionReport(100, {Method.CDC: 50})
+        assert report.bytes_per_event(Method.CDC) == 0.5
+
+    def test_compression_rate(self):
+        report = CompressionReport(10, {Method.RAW: 1000, Method.CDC: 10})
+        assert report.compression_rate(Method.CDC) == 100.0
+
+    def test_rate_vs_gzip(self):
+        report = CompressionReport(10, {Method.GZIP: 57, Method.CDC: 10})
+        assert report.rate_vs_gzip() == pytest.approx(5.7)
+
+    def test_aggregate_sums(self):
+        reports = [
+            CompressionReport(10, {Method.CDC: 5, Method.GZIP: 9}),
+            CompressionReport(20, {Method.CDC: 7, Method.GZIP: 11}),
+        ]
+        agg = aggregate_reports(reports)
+        assert agg.num_receive_events == 30
+        assert agg.sizes[Method.CDC] == 12
+
+    def test_aggregate_empty(self):
+        assert aggregate_reports([]).num_receive_events == 0
+
+
+class TestMergedCallsite:
+    def test_merge_relabels_only(self):
+        outs = stream(50, callsites=("a", "b"))
+        from repro.core.compression import _merge_callsites
+
+        merged = _merge_callsites(outs)
+        assert all(o.callsite == MERGED_CALLSITE for o in merged)
+        assert [o.matched for o in merged] == [o.matched for o in outs]

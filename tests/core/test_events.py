@@ -1,0 +1,104 @@
+"""MF event model and quintuple-row generation (Section 3.1, Figure 4)."""
+
+import pytest
+
+from repro.core.events import (
+    MFKind,
+    MFOutcome,
+    QuintupleRow,
+    ReceiveEvent,
+    outcomes_to_rows,
+)
+
+
+class TestMFKind:
+    def test_test_family_flags(self):
+        assert MFKind.TEST.is_test and MFKind.TESTSOME.is_test
+        assert not MFKind.WAIT.is_test and not MFKind.WAITALL.is_test
+
+    def test_multi_match_capability(self):
+        assert MFKind.TESTSOME.can_match_multiple
+        assert MFKind.WAITALL.can_match_multiple
+        assert not MFKind.TEST.can_match_multiple
+        assert not MFKind.WAITANY.can_match_multiple
+
+
+class TestReceiveEvent:
+    def test_key_orders_by_clock_then_rank(self):
+        """Definition 6: clock first, sender rank breaks ties."""
+        assert ReceiveEvent(5, 3).key < ReceiveEvent(0, 4).key
+        assert ReceiveEvent(0, 8).key < ReceiveEvent(2, 8).key
+
+    def test_hashable_and_equal(self):
+        assert ReceiveEvent(1, 2) == ReceiveEvent(1, 2)
+        assert len({ReceiveEvent(1, 2), ReceiveEvent(1, 2)}) == 1
+
+
+class TestMFOutcome:
+    def test_wait_family_cannot_be_unmatched(self):
+        with pytest.raises(ValueError):
+            MFOutcome("x", MFKind.WAITANY, ())
+
+    def test_single_completion_kinds_reject_multi(self):
+        with pytest.raises(ValueError):
+            MFOutcome("x", MFKind.TEST, (ReceiveEvent(0, 1), ReceiveEvent(0, 2)))
+
+    def test_flag_reflects_matches(self):
+        assert not MFOutcome("x", MFKind.TEST, ()).flag
+        assert MFOutcome("x", MFKind.TEST, (ReceiveEvent(0, 1),)).flag
+
+
+class TestRowGeneration:
+    def test_unmatched_runs_aggregate_into_count(self):
+        outs = [
+            MFOutcome("x", MFKind.TEST, ()),
+            MFOutcome("x", MFKind.TEST, ()),
+            MFOutcome("x", MFKind.TEST, (ReceiveEvent(0, 5),)),
+        ]
+        rows = list(outcomes_to_rows(outs))
+        assert rows[0] == QuintupleRow(2, False, None, None, None)
+        assert rows[1] == QuintupleRow(1, True, False, 0, 5)
+
+    def test_multi_match_sets_with_next_chain(self):
+        outs = [
+            MFOutcome(
+                "x",
+                MFKind.TESTSOME,
+                (ReceiveEvent(0, 1), ReceiveEvent(1, 2), ReceiveEvent(2, 3)),
+            )
+        ]
+        rows = list(outcomes_to_rows(outs))
+        assert [r.with_next for r in rows] == [True, True, False]
+
+    def test_trailing_unmatched_run_emitted(self):
+        outs = [
+            MFOutcome("x", MFKind.TEST, (ReceiveEvent(0, 1),)),
+            MFOutcome("x", MFKind.TEST, ()),
+        ]
+        rows = list(outcomes_to_rows(outs))
+        assert rows[-1].count == 1 and not rows[-1].flag
+
+    def test_paper_figure4_row_structure(self):
+        from tests.conftest import paper_outcome_stream
+
+        rows = list(outcomes_to_rows(paper_outcome_stream()))
+        assert len(rows) == 11  # exactly the Figure 4 table
+        counts = [r.count for r in rows]
+        flags = [r.flag for r in rows]
+        assert counts == [1, 2, 1, 1, 1, 1, 1, 3, 1, 1, 1]
+        assert flags == [1, 0, 1, 1, 1, 1, 1, 0, 1, 0, 1]
+        # the with_next pair: (0,13) chained to (2,8)
+        assert rows[2].with_next is True and rows[2].clock == 13
+        assert rows[3].with_next is False and rows[3].clock == 8
+
+    def test_empty_stream(self):
+        assert list(outcomes_to_rows([])) == []
+
+
+class TestRowAccounting:
+    def test_bits_per_row_is_papers_162(self):
+        assert QuintupleRow.BITS_PER_ROW == 162
+
+    def test_values_returns_quintuple(self):
+        row = QuintupleRow(1, True, False, 3, 9)
+        assert len(row.values()) == 5

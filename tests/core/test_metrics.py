@@ -1,0 +1,72 @@
+"""Evaluation metrics (Figures 1, 14 and the Section 3 value accounting)."""
+
+import pytest
+
+from repro.core.events import MFKind, MFOutcome, ReceiveEvent
+from repro.core.metrics import (
+    events_per_second,
+    matched_events,
+    monotonic_fraction,
+    permutation_percentage,
+    value_count_breakdown,
+)
+
+
+class TestMatchedEvents:
+    def test_flattens_in_observed_order(self):
+        outs = [
+            MFOutcome("x", MFKind.TESTSOME, (ReceiveEvent(0, 1), ReceiveEvent(1, 2))),
+            MFOutcome("x", MFKind.TEST, ()),
+            MFOutcome("x", MFKind.TEST, (ReceiveEvent(2, 3),)),
+        ]
+        assert [e.clock for e in matched_events(outs)] == [1, 2, 3]
+
+
+class TestPermutationPercentage:
+    def test_figure7_example_is_37_5_percent(self, paper_outcomes):
+        events = matched_events(paper_outcomes)
+        assert permutation_percentage(events) == pytest.approx(3 / 8)
+
+    def test_ordered_sequence_is_zero(self):
+        events = [ReceiveEvent(0, c) for c in range(10)]
+        assert permutation_percentage(events) == 0.0
+
+    def test_empty_is_zero(self):
+        assert permutation_percentage([]) == 0.0
+
+
+class TestMonotonicFraction:
+    def test_fully_monotone(self):
+        assert monotonic_fraction([1, 2, 2, 5]) == 1.0
+
+    def test_counts_inversions(self):
+        assert monotonic_fraction([1, 3, 2, 4]) == pytest.approx(2 / 3)
+
+    def test_short_inputs(self):
+        assert monotonic_fraction([]) == 1.0
+        assert monotonic_fraction([7]) == 1.0
+
+
+class TestValueCounts:
+    def test_paper_breakdown(self, paper_outcomes):
+        vc = value_count_breakdown(paper_outcomes)
+        assert (vc.raw, vc.after_re, vc.after_cdc) == (55, 23, 19)
+        assert vc.reduction_factor == pytest.approx(55 / 19)
+
+    def test_fully_ordered_stream_shrinks_harder(self):
+        outs = [
+            MFOutcome("x", MFKind.TEST, (ReceiveEvent(0, c),)) for c in range(1, 21)
+        ]
+        vc = value_count_breakdown(outs)
+        assert vc.raw == 100
+        # no permutation rows, no with_next, no unmatched: only the epoch
+        # tables remain
+        assert vc.after_cdc == 2
+
+
+class TestThroughput:
+    def test_events_per_second(self):
+        assert events_per_second(100, 4.0) == 25.0
+
+    def test_zero_elapsed_guard(self):
+        assert events_per_second(100, 0.0) == 0.0

@@ -1,0 +1,82 @@
+"""Replay correctness under pathological network conditions.
+
+Record on a calm network, replay on hostile ones (and vice versa): huge
+jitter, near-zero latency, heavy per-byte costs. Replay must be exact
+regardless — the record pins the application-level order; the network may
+only change *when* things happen.
+"""
+
+import pytest
+
+from repro.replay import RecordSession, ReplaySession, assert_replay_matches
+from repro.sim import LatencyModel
+from repro.workloads import mcb, synthetic
+
+CALM = LatencyModel(base=2e-6, per_byte=1e-9, jitter_mean=1e-6)
+STORMY = LatencyModel(base=1e-6, per_byte=1e-8, jitter_mean=5e-5)
+INSTANT = LatencyModel(base=1e-9, per_byte=0.0, jitter_mean=0.0)
+MOLASSES = LatencyModel(base=5e-4, per_byte=1e-7, jitter_mean=2e-4)
+
+
+@pytest.fixture(scope="module")
+def mcb_setup():
+    cfg = mcb.MCBConfig(nprocs=8, particles_per_rank=30, seed=21)
+    return cfg, mcb.build_program(cfg)
+
+
+class TestCrossNetworkReplay:
+    @pytest.mark.parametrize(
+        "replay_latency", [STORMY, INSTANT, MOLASSES], ids=["stormy", "instant", "molasses"]
+    )
+    def test_calm_record_replays_on_any_network(self, mcb_setup, replay_latency):
+        cfg, program = mcb_setup
+        record = RecordSession(
+            program, nprocs=cfg.nprocs, network_seed=1, latency=CALM
+        ).run()
+        replayed = ReplaySession(
+            program, record.archive, network_seed=9, latency=replay_latency
+        ).run()
+        assert_replay_matches(record, replayed)
+
+    def test_stormy_record_replays_on_calm_network(self, mcb_setup):
+        cfg, program = mcb_setup
+        record = RecordSession(
+            program, nprocs=cfg.nprocs, network_seed=3, latency=STORMY
+        ).run()
+        replayed = ReplaySession(
+            program, record.archive, network_seed=4, latency=CALM
+        ).run()
+        assert_replay_matches(record, replayed)
+
+    def test_stormy_networks_actually_reorder_more(self):
+        """The hostile model isn't a no-op: it permutes receives harder."""
+        from repro.core import matched_events, permutation_percentage
+
+        cfg = synthetic.SyntheticConfig(nprocs=8, messages_per_rank=25, fanout=3)
+        program = synthetic.build_program(cfg)
+        calm = RecordSession(program, nprocs=8, network_seed=5, latency=CALM).run()
+        stormy = RecordSession(program, nprocs=8, network_seed=5, latency=STORMY).run()
+        p = lambda run: sum(
+            permutation_percentage(matched_events(run.outcomes[r])) for r in range(8)
+        )
+        assert p(stormy) > p(calm)
+
+
+class TestDegenerateNetworks:
+    def test_zero_jitter_network_still_records_and_replays(self, mcb_setup):
+        cfg, program = mcb_setup
+        record = RecordSession(
+            program, nprocs=cfg.nprocs, network_seed=1, latency=INSTANT
+        ).run()
+        replayed = ReplaySession(
+            program, record.archive, network_seed=2, latency=INSTANT
+        ).run()
+        assert_replay_matches(record, replayed)
+
+    def test_deterministic_network_is_seed_invariant(self):
+        """With no jitter, different seeds draw no randomness: identical runs."""
+        cfg = synthetic.SyntheticConfig(nprocs=6, messages_per_rank=10, fanout=2)
+        program = synthetic.build_program(cfg)
+        a = RecordSession(program, nprocs=6, network_seed=1, latency=INSTANT).run()
+        b = RecordSession(program, nprocs=6, network_seed=2, latency=INSTANT).run()
+        assert a.observed_orders == b.observed_orders

@@ -1,0 +1,87 @@
+"""Section 4.3: why the reference order must use a *replayable* clock.
+
+The paper rejects wall-clock time as the reference: it varies run to run,
+so the permutation recorded against it would be decoded against a
+different reference in replay. Lamport clocks are part of the recorded
+computation itself and reproduce exactly (Theorem 2). These tests measure
+both claims in the simulator.
+"""
+
+import pytest
+
+from repro.core import matched_events, reference_order
+from repro.replay import RecordSession, ReplaySession
+from repro.workloads import mcb
+
+
+@pytest.fixture(scope="module")
+def two_runs():
+    """The same MCB application under two different network timings."""
+    cfg = mcb.MCBConfig(nprocs=9, particles_per_rank=30, seed=13)
+    program = mcb.build_program(cfg)
+    runs = [
+        RecordSession(program, nprocs=cfg.nprocs, network_seed=s).run()
+        for s in (1, 2)
+    ]
+    return cfg, program, runs
+
+
+def particle_events(run, rank):
+    return matched_events(
+        o for o in run.outcomes[rank] if o.callsite == "mcb:particles"
+    )
+
+
+class TestWallClockIsNotReplayable:
+    def test_arrival_orders_differ_across_runs(self, two_runs):
+        """A wall-clock (arrival-time) reference differs run-to-run: the
+        permutation recorded against it would be decoded against the wrong
+        baseline."""
+        _, _, (a, b) = two_runs
+        differs = any(
+            [e.key for e in particle_events(a, r)]
+            != [e.key for e in particle_events(b, r)]
+            for r in range(9)
+        )
+        assert differs
+
+
+class TestLamportReferenceIsReplayable:
+    def test_free_runs_have_different_clocks(self, two_runs):
+        """Section 4.3: 'Lamport clocks received by an MPI process can vary
+        slightly from run to run' — run-invariance is NOT the property CDC
+        rests on; replayability (next test) is."""
+        _, _, (a, b) = two_runs
+        clocks_a = [sorted(e.clock for e in particle_events(a, r)) for r in range(9)]
+        clocks_b = [sorted(e.clock for e in particle_events(b, r)) for r in range(9)]
+        assert clocks_a != clocks_b
+
+    def test_replay_rebuilds_the_recorded_reference_order(self, two_runs):
+        """Under replay the clocks — and hence the reconstructed reference
+        order — equal the record's exactly, even though nothing but the
+        permutation difference was stored."""
+        cfg, program, (record, _) = two_runs
+        replayed = ReplaySession(program, record.archive, network_seed=42).run()
+        for r in range(cfg.nprocs):
+            ref_rec = reference_order(particle_events(record, r))
+            ref_rep = reference_order(particle_events(replayed, r))
+            assert ref_rec == ref_rep, f"rank {r}"
+
+    def test_replay_reproduces_piggybacked_clocks(self, two_runs):
+        """Theorem 2, end to end: every piggybacked clock in the replayed
+        run equals the recorded one."""
+        cfg, program, (record, _) = two_runs
+        replayed = ReplaySession(program, record.archive, network_seed=77).run()
+        for r in range(cfg.nprocs):
+            rec = [e.clock for e in matched_events(record.outcomes[r])]
+            rep = [e.clock for e in matched_events(replayed.outcomes[r])]
+            assert rec == rep
+
+
+class TestTieBreaking:
+    def test_equal_clocks_ordered_by_sender_rank(self):
+        """Definition 6's arbitration is what makes the order total."""
+        from repro.core.events import ReceiveEvent
+
+        events = [ReceiveEvent(3, 7), ReceiveEvent(1, 7), ReceiveEvent(2, 7)]
+        assert [e.rank for e in reference_order(events)] == [1, 2, 3]

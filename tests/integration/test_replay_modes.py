@@ -1,0 +1,134 @@
+"""Replay delivery modes: assist vs paper-faithful LMC vs barrier."""
+
+import pytest
+
+from repro.replay import RecordSession, ReplaySession, assert_replay_matches
+from repro.replay.replayer import DeliveryMode
+from repro.sim import ANY_SOURCE
+from repro.workloads import mcb
+
+
+def window1_program(per_sender=3):
+    """Single outstanding ANY_SOURCE receive: the Figure 3-adjacent hard
+    case that forces message/request rebinding in replay."""
+
+    def program(ctx):
+        n = ctx.nprocs
+        if ctx.rank == 0:
+            order = []
+            req = ctx.irecv(source=ANY_SOURCE, tag=7)
+            for _ in range(per_sender * (n - 1)):
+                while True:
+                    res = yield ctx.test(req, callsite="narrow")
+                    if res.flag:
+                        break
+                    yield ctx.compute(1e-6)
+                order.append((res.message.src, res.message.payload))
+                req = ctx.irecv(source=ANY_SOURCE, tag=7)
+            ctx.cancel(req)
+            return tuple(order)
+        for i in range(per_sender):
+            yield ctx.compute((ctx.rank * 31 % 7) * 3e-7)
+            ctx.isend(0, i, tag=7)
+
+    return program
+
+
+def prepost_program(rounds=6):
+    """All receives pre-posted per round + waitall: barrier-mode safe."""
+
+    def program(ctx):
+        n = ctx.nprocs
+        nxt, prv = (ctx.rank + 1) % n, (ctx.rank - 1) % n
+        acc = 0.0
+        for r in range(rounds):
+            reqs = [
+                ctx.irecv(source=ANY_SOURCE, tag=100 + r),
+                ctx.irecv(source=ANY_SOURCE, tag=200 + r),
+            ]
+            ctx.isend(nxt, float(ctx.rank + r), tag=100 + r)
+            ctx.isend(prv, float(ctx.rank - r), tag=200 + r)
+            res = yield ctx.waitall(reqs, callsite="exchange")
+            for m in res.messages:
+                acc = acc * 1.0000001 + m.payload
+        return acc
+
+    return program
+
+
+class TestAssistMode:
+    def test_window1_replays(self):
+        program = window1_program()
+        record = RecordSession(program, nprocs=5, network_seed=3, chunk_events=4).run()
+        for seed in (4, 5):
+            replayed = ReplaySession(program, record.archive, network_seed=seed).run()
+            assert_replay_matches(record, replayed)
+
+
+class TestPaperFaithfulLMC:
+    """replay_assist=False: the record is exactly the paper's format and
+    delivery runs on Axiom 1's certainty plus our beacon realization."""
+
+    def test_window1_pattern_replays_without_assist(self):
+        program = window1_program()
+        record = RecordSession(
+            program, nprocs=5, network_seed=3, chunk_events=4, replay_assist=False
+        ).run()
+        assert all(c.sender_sequence is None for c in record.archive.chunks(0))
+        replayed = ReplaySession(program, record.archive, network_seed=6).run()
+        assert_replay_matches(record, replayed)
+
+    def test_small_mcb_replays_without_assist(self):
+        cfg = mcb.MCBConfig(nprocs=4, particles_per_rank=10, seed=7)
+        program = mcb.build_program(cfg)
+        record = RecordSession(
+            program, nprocs=4, network_seed=1, chunk_events=64, replay_assist=False
+        ).run()
+        replayed = ReplaySession(
+            program,
+            record.archive,
+            network_seed=9,
+            engine_kwargs={"max_events": 2_000_000},
+        ).run()
+        assert_replay_matches(record, replayed)
+
+    def test_prepost_pattern_replays_without_assist(self):
+        program = prepost_program()
+        record = RecordSession(
+            program, nprocs=6, network_seed=2, replay_assist=False
+        ).run()
+        replayed = ReplaySession(program, record.archive, network_seed=3).run()
+        assert_replay_matches(record, replayed)
+
+
+class TestBarrierMode:
+    def test_prepost_pattern_replays_under_barrier(self):
+        """Barrier delivery is safe when every chunk's receives are posted
+        independently of held-back deliveries."""
+        program = prepost_program()
+        # one chunk per round (2 receives): a chunk never spans a waitall
+        # boundary, so all of its receives are posted before it must drain
+        record = RecordSession(
+            program, nprocs=6, network_seed=2, replay_assist=False, chunk_events=2
+        ).run()
+        replayed = ReplaySession(
+            program,
+            record.archive,
+            network_seed=5,
+            delivery_mode=DeliveryMode.BARRIER,
+        ).run()
+        assert_replay_matches(record, replayed)
+
+
+class TestModeEquivalence:
+    def test_assist_and_lmc_produce_identical_outcomes(self):
+        """Delivery mode affects timing only — never content."""
+        program = window1_program()
+        rec_assist = RecordSession(program, nprocs=5, network_seed=3).run()
+        rec_plain = RecordSession(
+            program, nprocs=5, network_seed=3, replay_assist=False
+        ).run()
+        rep_a = ReplaySession(program, rec_assist.archive, network_seed=8).run()
+        rep_b = ReplaySession(program, rec_plain.archive, network_seed=8).run()
+        assert rep_a.outcomes == rep_b.outcomes
+        assert rep_a.app_results == rep_b.app_results

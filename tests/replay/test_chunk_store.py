@@ -1,0 +1,92 @@
+"""Record archive storage: accounting, persistence, corruption."""
+
+import os
+
+import pytest
+
+from repro.core.events import ReceiveEvent
+from repro.core.pipeline import encode_chunk
+from repro.core.record_table import RecordTable
+from repro.errors import RecordFormatError
+from repro.replay.chunk_store import RecordArchive, bytes_per_event, summarize
+
+
+def chunk(events, callsite="cs", assist=False):
+    return encode_chunk(
+        RecordTable(callsite, tuple(events), (), ()), replay_assist=assist
+    )
+
+
+@pytest.fixture
+def archive():
+    a = RecordArchive(nprocs=2)
+    a.append(0, chunk([ReceiveEvent(1, 1), ReceiveEvent(1, 3)], "a"))
+    a.append(0, chunk([ReceiveEvent(1, 5)], "b"))
+    a.append(0, chunk([ReceiveEvent(1, 7)], "a"))
+    a.append(1, chunk([ReceiveEvent(0, 2)], "a", assist=True))
+    return a
+
+
+class TestAccounting:
+    def test_total_events(self, archive):
+        assert archive.total_events() == 5
+
+    def test_rank_bytes_positive_and_total_sums(self, archive):
+        assert archive.total_bytes() == archive.rank_bytes(0) + archive.rank_bytes(1)
+
+    def test_bytes_per_event(self, archive):
+        assert bytes_per_event(archive) == pytest.approx(
+            archive.total_bytes() / 5
+        )
+
+    def test_empty_archive(self):
+        assert bytes_per_event(RecordArchive(1)) == 0.0
+
+    def test_per_node_aggregation(self):
+        a = RecordArchive(nprocs=48)
+        for r in range(48):
+            a.append(r, chunk([ReceiveEvent(0, 1)]))
+        nodes = a.per_node_bytes(procs_per_node=24)
+        assert set(nodes) == {0, 1}
+
+    def test_chunks_by_callsite_preserves_order(self, archive):
+        by_cs = archive.chunks_by_callsite(0)
+        assert len(by_cs["a"]) == 2
+        assert by_cs["a"][0].num_events == 2
+
+    def test_rank_out_of_range_rejected(self, archive):
+        with pytest.raises(RecordFormatError):
+            archive.append(7, chunk([ReceiveEvent(0, 1)]))
+
+    def test_summarize(self, archive):
+        info = summarize(archive)
+        assert info["nprocs"] == 2
+        assert info["callsites"] == ["a", "b"]
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, archive, tmp_path):
+        directory = str(tmp_path / "record")
+        archive.save(directory)
+        loaded = RecordArchive.load(directory)
+        assert loaded.nprocs == archive.nprocs
+        assert loaded.chunks_by_rank == archive.chunks_by_rank
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(RecordFormatError):
+            RecordArchive.load(str(tmp_path))
+
+    def test_malformed_manifest_rejected(self, tmp_path):
+        with open(tmp_path / "MANIFEST", "w") as fh:
+            fh.write("bogus\n")
+        with pytest.raises(RecordFormatError):
+            RecordArchive.load(str(tmp_path))
+
+    def test_truncated_rank_file_rejected(self, archive, tmp_path):
+        directory = str(tmp_path / "record")
+        archive.save(directory)
+        path = os.path.join(directory, "rank-00000.cdc")
+        with open(path, "r+b") as fh:
+            fh.truncate(3)
+        with pytest.raises(Exception):  # zlib or format error
+            RecordArchive.load(directory)

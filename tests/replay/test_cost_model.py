@@ -1,0 +1,50 @@
+"""Recording cost model calibration and accounting."""
+
+import pytest
+
+from repro.replay.cost_model import (
+    PerRankRecordingState,
+    RecordingCostModel,
+    cdc_cost_model,
+    gzip_cost_model,
+)
+
+
+class TestModels:
+    def test_cdc_costlier_than_gzip_per_event(self):
+        """Section 6.2: the edit distance makes CDC recording dearer."""
+        assert cdc_cost_model().enqueue_cost > gzip_cost_model().enqueue_cost
+
+    def test_both_piggyback_eight_bytes(self):
+        assert cdc_cost_model().piggyback_bytes == 8
+        assert gzip_cost_model().piggyback_bytes == 8
+
+    def test_default_drain_rate_is_papers_measurement(self):
+        assert cdc_cost_model().drain_rate == 331_000.0
+
+
+class TestPerRankState:
+    def test_charge_accumulates_events(self):
+        state = PerRankRecordingState(cdc_cost_model())
+        state.charge(0.0, 3)
+        state.charge(1e-3, 2)
+        assert state.events_recorded == 5
+
+    def test_charge_is_linear_in_events_when_unsaturated(self):
+        state = PerRankRecordingState(cdc_cost_model())
+        one = state.charge(1.0, 1)
+        five = state.charge(2.0, 5)
+        assert five == pytest.approx(5 * one)
+
+    def test_zero_events_costs_nothing(self):
+        state = PerRankRecordingState(cdc_cost_model())
+        assert state.charge(0.0, 0) == 0.0
+
+    def test_saturation_adds_stall(self):
+        model = RecordingCostModel(
+            enqueue_cost=0.0, drain_rate=10.0, queue_capacity=5
+        )
+        state = PerRankRecordingState(model)
+        costs = [state.charge(i * 1e-6, 1) for i in range(50)]
+        assert sum(costs) > 0
+        assert state.queue.total_stall > 0

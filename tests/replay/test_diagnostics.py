@@ -1,0 +1,85 @@
+"""Replay post-mortem diagnostics."""
+
+import pytest
+
+from repro.errors import ReplayDivergence
+from repro.replay import RecordSession, ReplaySession, ReplayController, replay_report
+from repro.sim import ANY_SOURCE, Engine, Network
+
+
+def collector(n_messages=3, extra_recv=0, send_count=None):
+    """Fan-in program; ``send_count`` < n_messages starves the receiver."""
+    sends = n_messages if send_count is None else send_count
+
+    def program(ctx):
+        n = ctx.nprocs
+        if ctx.rank == 0:
+            total = n_messages * (n - 1) + extra_recv
+            req = ctx.irecv(source=ANY_SOURCE, tag=1)
+            got = 0
+            while got < total:
+                res = yield ctx.test(req, callsite="sink")
+                if res.flag:
+                    got += 1
+                    req = ctx.irecv(source=ANY_SOURCE, tag=1)
+                else:
+                    yield ctx.compute(1e-6)
+            ctx.cancel(req)
+            return got
+        for k in range(sends):
+            yield ctx.compute((ctx.rank % 3) * 1e-6)
+            ctx.isend(0, k, tag=1)
+
+    return program
+
+
+@pytest.fixture(scope="module")
+def record():
+    return RecordSession(collector(), nprocs=4, network_seed=3).run()
+
+
+class TestLiveReport:
+    def test_report_on_healthy_finished_replay(self, record):
+        controller = ReplayController(record.archive)
+        engine = Engine(
+            4, collector(), network=Network(seed=9), controller=controller
+        )
+        engine.run()
+        report = replay_report(engine, controller)
+        assert len(report.ranks) == 4
+        assert all(r.done for r in report.ranks)
+        assert report.stuck_ranks == []
+        assert "finished" in report.render()
+
+    def test_render_is_bounded(self, record):
+        controller = ReplayController(record.archive)
+        engine = Engine(
+            4, collector(), network=Network(seed=9), controller=controller
+        )
+        engine.run()
+        report = replay_report(engine, controller)
+        text = report.render(max_ranks=2)
+        assert "more ranks" in text
+
+
+class TestPostMortem:
+    def test_starved_replay_deadlocks_with_report(self, record):
+        """Senders ship one message fewer than recorded: the receiver waits
+        forever for the recorded event, and the session surfaces a
+        ReplayDivergence carrying the full state report."""
+        with pytest.raises(ReplayDivergence) as err:
+            ReplaySession(
+                collector(send_count=2), record.archive, network_seed=5
+            ).run()
+        message = str(err.value)
+        assert "replay state report" in message
+        assert "rank 0" in message
+        assert "sink" in message
+
+    def test_extra_demand_raises_record_exhausted(self, record):
+        from repro.errors import RecordExhausted
+
+        with pytest.raises(RecordExhausted):
+            ReplaySession(
+                collector(extra_recv=1), record.archive, network_seed=5
+            ).run()

@@ -1,0 +1,112 @@
+"""Failure injection: divergent programs, exhausted and corrupted records."""
+
+import pytest
+
+from repro.errors import RecordExhausted, ReplayDivergence, ReproError
+from repro.replay import RecordSession, ReplaySession
+from repro.sim import ANY_SOURCE
+
+
+def collector(n_messages=4, extra_recv=0, tally_salt=0.0):
+    """Parameterizable fan-in program; knobs inject divergence."""
+
+    def program(ctx):
+        n = ctx.nprocs
+        if ctx.rank == 0:
+            total = n_messages * (n - 1) + extra_recv
+            req = ctx.irecv(source=ANY_SOURCE, tag=1)
+            got = 0
+            while got < total:
+                res = yield ctx.test(req, callsite="sink")
+                if res.flag:
+                    got += 1
+                    req = ctx.irecv(source=ANY_SOURCE, tag=1)
+                else:
+                    yield ctx.compute(1e-6)
+            ctx.cancel(req)
+            return got + tally_salt
+        for k in range(n_messages):
+            yield ctx.compute((ctx.rank % 3) * 1e-6)
+            ctx.isend(0, k, tag=1)
+
+    return program
+
+
+@pytest.fixture(scope="module")
+def record():
+    return RecordSession(collector(), nprocs=4, network_seed=5).run()
+
+
+class TestDivergentPrograms:
+    def test_demanding_more_receives_raises(self, record):
+        """The replayed program asks for one receive the record lacks."""
+        with pytest.raises((RecordExhausted, ReproError)):
+            ReplaySession(collector(extra_recv=1), record.archive, network_seed=6).run()
+
+    def test_unknown_callsite_raises(self, record):
+        def rogue(ctx):
+            if ctx.rank == 0:
+                yield ctx.test(ctx.irecv(source=ANY_SOURCE, tag=1), callsite="other")
+            else:
+                ctx.isend(0, 1, tag=1)
+                yield ctx.compute(0)
+
+        with pytest.raises(RecordExhausted):
+            ReplaySession(rogue, record.archive, network_seed=6).run()
+
+    def test_different_send_pattern_diverges(self, record):
+        """Messages with unexpected clocks violate the epoch/quota checks."""
+
+        def shifted(ctx):
+            n = ctx.nprocs
+            if ctx.rank == 0:
+                total = 4 * (n - 1)
+                req = ctx.irecv(source=ANY_SOURCE, tag=1)
+                got = 0
+                while got < total:
+                    res = yield ctx.test(req, callsite="sink")
+                    if res.flag:
+                        got += 1
+                        req = ctx.irecv(source=ANY_SOURCE, tag=1)
+                    else:
+                        yield ctx.compute(1e-6)
+                ctx.cancel(req)
+            else:
+                # extra sends inflate clocks beyond the recorded epoch lines
+                for k in range(8):
+                    ctx.isend((ctx.rank + 1) % n, k, tag=2)
+                for k in range(4):
+                    yield ctx.compute(1e-6)
+                    ctx.isend(0, k, tag=1)
+                req = ctx.irecv(source=ANY_SOURCE, tag=2)
+                ctx.cancel(req)
+
+        with pytest.raises(ReproError):
+            ReplaySession(shifted, record.archive, network_seed=6).run()
+
+
+class TestCorruptedRecords:
+    def test_truncated_chunk_stream_fails_loudly(self, record, tmp_path):
+        import os
+
+        directory = str(tmp_path / "rec")
+        record.archive.save(directory)
+        victim = os.path.join(directory, "rank-00000.cdc")
+        data = open(victim, "rb").read()
+        with open(victim, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        from repro.replay import RecordArchive
+
+        with pytest.raises(Exception):
+            RecordArchive.load(directory)
+
+    def test_dropped_chunk_leaves_undelivered_events(self, record):
+        """Deleting part of the record is detected at session end."""
+        from copy import deepcopy
+
+        broken = deepcopy(record.archive)
+        victim = broken.chunks_by_rank[0]
+        # drop the final chunk of rank 0's sink callsite
+        victim.pop()
+        with pytest.raises(ReproError):
+            ReplaySession(collector(), broken, network_seed=6).run()

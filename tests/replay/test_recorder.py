@@ -1,0 +1,104 @@
+"""Recording controller: chunking, overhead charging, gzip baseline."""
+
+import pytest
+
+from repro.replay import (
+    GzipRecordingController,
+    RecordSession,
+    RecordingController,
+)
+from repro.sim import ANY_SOURCE, Engine, Network
+
+
+def fanin_program(messages_per_sender=6):
+    def program(ctx):
+        n = ctx.nprocs
+        if ctx.rank == 0:
+            total = messages_per_sender * (n - 1)
+            reqs = [ctx.irecv(source=ANY_SOURCE, tag=1) for _ in range(n - 1)]
+            got = 0
+            while got < total:
+                res = yield ctx.testsome(reqs, callsite="sink")
+                for i, m in zip(res.indices, res.messages):
+                    if m is None:
+                        continue
+                    got += 1
+                    reqs[i] = ctx.irecv(source=ANY_SOURCE, tag=1)
+                yield ctx.compute(1e-6)
+            for r in reqs:
+                ctx.cancel(r)
+        else:
+            for k in range(messages_per_sender):
+                yield ctx.compute((ctx.rank % 3) * 1e-6)
+                ctx.isend(0, k, tag=1)
+
+    return program
+
+
+class TestRecording:
+    def test_archive_captures_all_receives(self):
+        result = RecordSession(fanin_program(), nprocs=4, network_seed=2).run()
+        assert result.archive.total_events() == 18
+
+    def test_chunking_respects_limit(self):
+        result = RecordSession(
+            fanin_program(), nprocs=4, network_seed=2, chunk_events=4
+        ).run()
+        chunks = result.archive.chunks(0)
+        assert len(chunks) >= 4
+        assert all(c.num_events <= 4 + 2 for c in chunks)  # group slack
+
+    def test_outcomes_match_archive(self):
+        result = RecordSession(fanin_program(), nprocs=4, network_seed=2).run()
+        stream_events = result.total_receive_events()
+        assert stream_events == result.archive.total_events()
+
+    def test_recording_adds_virtual_time_overhead(self):
+        from repro.replay import BaselineSession
+
+        base = BaselineSession(fanin_program(), nprocs=4, network_seed=2).run()
+        rec = RecordSession(fanin_program(), nprocs=4, network_seed=2).run()
+        assert rec.stats.virtual_time > base.stats.virtual_time
+
+    def test_queue_stats_exposed(self):
+        result = RecordSession(fanin_program(), nprocs=4, network_seed=2).run()
+        stats = result.controller.queue_stats()
+        assert set(stats) == {0, 1, 2, 3}
+
+    def test_replay_assist_flag_controls_column(self):
+        with_assist = RecordSession(
+            fanin_program(), nprocs=3, network_seed=1, replay_assist=True
+        ).run()
+        without = RecordSession(
+            fanin_program(), nprocs=3, network_seed=1, replay_assist=False
+        ).run()
+        assert all(
+            c.sender_sequence is not None for c in with_assist.archive.chunks(0)
+        )
+        assert all(c.sender_sequence is None for c in without.archive.chunks(0))
+        # the assist column costs something, but not much
+        a, b = with_assist.archive.total_bytes(), without.archive.total_bytes()
+        assert b < a <= b * 2
+
+    def test_keep_outcomes_false_drops_streams(self):
+        controller = RecordingController(3, keep_outcomes=False)
+        engine = Engine(3, fanin_program(), network=Network(seed=1), controller=controller)
+        engine.run()
+        assert controller.outcomes_of(0) == []
+        assert controller.archive.total_events() > 0
+
+
+class TestGzipBaseline:
+    def test_storage_accounts_raw_format(self):
+        controller = GzipRecordingController(4)
+        engine = Engine(4, fanin_program(), network=Network(seed=2), controller=controller)
+        engine.run()
+        assert controller.total_storage_bytes() > 0
+        assert controller.storage_bytes(0) > controller.storage_bytes(1)
+
+    def test_gzip_mode_is_cheaper_in_time_than_cdc(self):
+        cdc = RecordSession(fanin_program(), nprocs=4, network_seed=2).run()
+        gz = RecordSession(
+            fanin_program(), nprocs=4, network_seed=2, gzip_baseline=True
+        ).run()
+        assert gz.stats.virtual_time <= cdc.stats.virtual_time

@@ -1,0 +1,116 @@
+"""MPI-level matching semantics (posted/unexpected queues, FIFO)."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.sim.communicator import MailBox
+from repro.sim.datatypes import ANY_SOURCE, ANY_TAG, Message, Request, RequestState
+
+
+def msg(src=1, tag=5, clock=0, seq=0):
+    return Message(src=src, dst=0, tag=tag, payload=None, clock=clock, seq=seq)
+
+
+def recv(source=ANY_SOURCE, tag=ANY_TAG):
+    return Request(owner=0, is_recv=True, source=source, tag=tag)
+
+
+class TestPostedMatching:
+    def test_arrival_matches_first_posted_in_post_order(self):
+        box = MailBox(0)
+        r1, r2 = recv(), recv()
+        box.post_recv(r1)
+        box.post_recv(r2)
+        box.deliver(msg(seq=0), 1.0)
+        assert r1.completed and not r2.completed
+
+    def test_arrival_skips_incompatible_receives(self):
+        box = MailBox(0)
+        r1, r2 = recv(source=3), recv(source=1)
+        box.post_recv(r1)
+        box.post_recv(r2)
+        box.deliver(msg(src=1), 1.0)
+        assert r2.completed and not r1.completed
+
+    def test_unmatched_arrival_goes_unexpected(self):
+        box = MailBox(0)
+        box.deliver(msg(), 1.0)
+        assert box.has_unexpected
+
+
+class TestUnexpectedMatching:
+    def test_posting_takes_earliest_matching_unexpected(self):
+        box = MailBox(0)
+        box.deliver(msg(clock=1, seq=0), 1.0)
+        box.deliver(msg(clock=2, seq=1), 2.0)
+        r = recv()
+        box.post_recv(r)
+        assert r.completed and r.message.clock == 1
+        assert len(box.unexpected) == 1
+
+    def test_posting_with_filter_skips_nonmatching(self):
+        box = MailBox(0)
+        box.deliver(msg(src=2, seq=0), 1.0)
+        r = recv(source=1)
+        box.post_recv(r)
+        assert not r.completed
+        assert box.posted == [r]
+
+
+class TestFIFO:
+    def test_out_of_order_seq_rejected(self):
+        box = MailBox(0)
+        box.deliver(msg(seq=1), 1.0)
+        with pytest.raises(CommunicatorError):
+            box.deliver(msg(seq=0), 2.0)
+
+    def test_per_sender_sequences_independent(self):
+        box = MailBox(0)
+        box.deliver(msg(src=1, seq=0), 1.0)
+        box.deliver(msg(src=2, seq=0), 2.0)  # fine: different channel
+
+
+class TestLifecycle:
+    def test_reposting_used_request_rejected(self):
+        box = MailBox(0)
+        r = recv()
+        box.post_recv(r)
+        box.deliver(msg(), 1.0)
+        with pytest.raises(CommunicatorError):
+            box.post_recv(r)
+
+    def test_post_send_request_rejected(self):
+        with pytest.raises(CommunicatorError):
+            MailBox(0).post_recv(Request(owner=0, is_recv=False))
+
+    def test_cancel_removes_pending(self):
+        box = MailBox(0)
+        r = recv()
+        box.post_recv(r)
+        box.cancel(r)
+        assert r.state is RequestState.INACTIVE
+        box.deliver(msg(), 1.0)
+        assert box.has_unexpected  # nothing matched
+
+    def test_completed_undelivered_sorts_by_completion(self):
+        box = MailBox(0)
+        rs = [recv() for _ in range(3)]
+        for r in rs:
+            box.post_recv(r)
+        for i in range(3):
+            box.deliver(msg(clock=i, seq=i), float(i))
+        ready = MailBox.completed_undelivered(list(reversed(rs)))
+        assert [r.message.clock for r in ready] == [0, 1, 2]
+
+    def test_mark_delivered_requires_completed(self):
+        with pytest.raises(CommunicatorError):
+            MailBox.mark_delivered([recv()])
+
+    def test_completion_log_records_order(self):
+        box = MailBox(0)
+        r1, r2 = recv(), recv()
+        box.post_recv(r1)
+        box.post_recv(r2)
+        box.deliver(msg(seq=0), 1.0)
+        box.deliver(msg(seq=1), 2.0)
+        assert box.completion_log == [r1, r2]

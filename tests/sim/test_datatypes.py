@@ -1,0 +1,58 @@
+"""Simulated-MPI datatypes."""
+
+from repro.sim.datatypes import (
+    ANY_SOURCE,
+    ANY_TAG,
+    Message,
+    Request,
+    RequestState,
+)
+
+
+class TestRequestMatching:
+    def msg(self, src=1, tag=5):
+        return Message(src=src, dst=0, tag=tag, payload=None, clock=0, seq=0)
+
+    def test_exact_match(self):
+        req = Request(owner=0, is_recv=True, source=1, tag=5)
+        assert req.matches(self.msg())
+
+    def test_wrong_source_rejected(self):
+        req = Request(owner=0, is_recv=True, source=2, tag=5)
+        assert not req.matches(self.msg())
+
+    def test_wrong_tag_rejected(self):
+        req = Request(owner=0, is_recv=True, source=1, tag=6)
+        assert not req.matches(self.msg())
+
+    def test_wildcards_match_anything(self):
+        req = Request(owner=0, is_recv=True, source=ANY_SOURCE, tag=ANY_TAG)
+        assert req.matches(self.msg(src=3, tag=99))
+
+    def test_non_pending_request_never_matches(self):
+        req = Request(owner=0, is_recv=True, source=ANY_SOURCE, tag=ANY_TAG)
+        req.state = RequestState.COMPLETED
+        assert not req.matches(self.msg())
+
+    def test_send_request_never_matches(self):
+        req = Request(owner=0, is_recv=False)
+        assert not req.matches(self.msg())
+
+
+class TestRequestIdentity:
+    def test_requests_hash_by_identity(self):
+        a = Request(owner=0, is_recv=True)
+        b = Request(owner=0, is_recv=True)
+        assert a != b
+        assert len({a, b}) == 2
+
+    def test_request_ids_unique(self):
+        ids = {Request(owner=0, is_recv=True).req_id for _ in range(100)}
+        assert len(ids) == 100
+
+
+class TestMessage:
+    def test_status_exposes_identifier_fields(self):
+        msg = Message(src=2, dst=0, tag=7, payload="x", clock=42, seq=3)
+        status = msg.status
+        assert (status.source, status.tag, status.clock) == (2, 7, 42)

@@ -1,0 +1,103 @@
+"""Stateful model checking of the MPI-level mailbox.
+
+A Hypothesis rule-based state machine drives random post/deliver/cancel
+sequences against :class:`~repro.sim.communicator.MailBox` and checks the
+matching invariants CDC depends on against a reference model:
+
+* conservation: every delivered message is matched exactly once or parked
+  unexpected — none vanish, none duplicate;
+* the FIFO/clock pairing: per sender, completed messages' clocks are
+  consumed in arrival order when requests are wildcard;
+* unexpected messages are claimed in arrival order by compatible posts.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.sim.communicator import MailBox
+from repro.sim.datatypes import ANY_SOURCE, ANY_TAG, Message, Request, RequestState
+
+
+class MailBoxMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.box = MailBox(0)
+        self.time = 0.0
+        self.seq = {s: 0 for s in range(3)}
+        self.clock = {s: 0 for s in range(3)}
+        self.sent = []  # all messages ever delivered to the box
+        self.requests = []
+
+    @rule(src=st.integers(0, 2), tag=st.integers(1, 2))
+    def deliver(self, src, tag):
+        self.time += 1.0
+        self.clock[src] += 1
+        msg = Message(
+            src=src,
+            dst=0,
+            tag=tag,
+            payload=None,
+            clock=self.clock[src],
+            seq=self.seq[src],
+        )
+        self.seq[src] += 1
+        self.sent.append(msg)
+        self.box.deliver(msg, self.time)
+
+    @rule(
+        wildcard_src=st.booleans(),
+        src=st.integers(0, 2),
+        wildcard_tag=st.booleans(),
+        tag=st.integers(1, 2),
+    )
+    def post(self, wildcard_src, src, wildcard_tag, tag):
+        req = Request(
+            owner=0,
+            is_recv=True,
+            source=ANY_SOURCE if wildcard_src else src,
+            tag=ANY_TAG if wildcard_tag else tag,
+        )
+        self.requests.append(req)
+        self.box.post_recv(req)
+
+    @rule()
+    def cancel_one_pending(self):
+        for req in self.requests:
+            if req.state is RequestState.PENDING and req in self.box.posted:
+                self.box.cancel(req)
+                break
+
+    @invariant()
+    def conservation(self):
+        matched = [r.message for r in self.requests if r.message is not None]
+        parked = list(self.box.unexpected)
+        assert len(matched) + len(parked) == len(self.sent)
+        # no message matched twice
+        ids = [(m.src, m.clock) for m in matched + parked]
+        assert len(set(ids)) == len(ids)
+
+    @invariant()
+    def per_sender_completion_in_clock_order(self):
+        per_sender = {}
+        completed = [
+            r
+            for r in self.requests
+            if r.message is not None
+        ]
+        completed.sort(key=lambda r: (r.completion_time, r.completion_seq))
+        for r in completed:
+            per_sender.setdefault(r.message.src, []).append(r.message.clock)
+        for clocks in per_sender.values():
+            assert clocks == sorted(clocks)
+
+    @invariant()
+    def posted_requests_are_pending(self):
+        for req in self.box.posted:
+            assert req.state is RequestState.PENDING
+
+
+TestMailBoxStateful = MailBoxMachine.TestCase
+TestMailBoxStateful.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

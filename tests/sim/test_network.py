@@ -1,0 +1,81 @@
+"""Network model: determinism, FIFO clamping, piggyback cost."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.network import LatencyModel, Network, payload_nbytes
+
+
+class TestLatencyModel:
+    def test_deterministic_without_jitter(self):
+        model = LatencyModel(base=1e-6, per_byte=1e-9, jitter_mean=0.0)
+        rng = random.Random(0)
+        assert model.sample(rng, 100) == 1e-6 + 100e-9
+
+    def test_jitter_adds_positive_noise(self):
+        model = LatencyModel(base=1e-6, jitter_mean=1e-5)
+        rng = random.Random(0)
+        samples = [model.sample(rng, 0) for _ in range(100)]
+        assert all(s >= 1e-6 for s in samples)
+        assert len(set(samples)) > 90  # actually random
+
+
+class TestNetwork:
+    def test_same_seed_same_deliveries(self):
+        def run(seed):
+            net = Network(seed=seed)
+            return [net.delivery_time(0, 1, i * 1e-6, 64) for i in range(50)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    @given(st.integers(0, 1000), st.integers(1, 60))
+    def test_fifo_per_channel(self, seed, n):
+        """Deliveries on one channel never reorder."""
+        net = Network(seed=seed)
+        times = [net.delivery_time(0, 1, i * 1e-7, 32) for i in range(n)]
+        assert times == sorted(times)
+
+    def test_channels_are_independent(self):
+        net = Network(seed=1)
+        t1 = net.delivery_time(0, 1, 0.0, 10_000_000)  # huge -> late
+        t2 = net.delivery_time(0, 2, 0.0, 8)  # tiny -> early
+        assert t2 < t1  # no cross-channel clamping
+
+    def test_sequence_numbers_monotone_per_channel(self):
+        net = Network(seed=0)
+        seqs = [net.next_seq(3, 4) for _ in range(10)]
+        assert seqs == list(range(10))
+        assert net.next_seq(4, 3) == 0  # reverse channel independent
+
+    def test_piggyback_increases_latency(self):
+        lat = LatencyModel(base=0.0, per_byte=1e-6, jitter_mean=0.0)
+        bare = Network(seed=0, latency=lat, piggyback_bytes=0)
+        piggy = Network(seed=0, latency=lat, piggyback_bytes=8)
+        assert piggy.delivery_time(0, 1, 0.0, 100) > bare.delivery_time(0, 1, 0.0, 100)
+
+
+class TestPayloadSizing:
+    def test_scalars(self):
+        assert payload_nbytes(None) == 8
+        assert payload_nbytes(1.5) == 8
+
+    def test_containers_scale_with_content(self):
+        small = payload_nbytes([(1.0, 2)] * 2)
+        big = payload_nbytes([(1.0, 2)] * 20)
+        assert big > small
+
+    def test_bytes_and_strings(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("abcd") == 4
+
+    def test_dict(self):
+        assert payload_nbytes({"a": 1}) > 8
+
+    def test_opaque_object_default(self):
+        class Thing:
+            pass
+
+        assert payload_nbytes(Thing()) == 64

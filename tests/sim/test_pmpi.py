@@ -1,0 +1,164 @@
+"""Natural matching-function semantics through the controller seam."""
+
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.sim import ANY_SOURCE, run_program
+
+
+def run_collector(body, nprocs=3, seed=0, **kwargs):
+    """rank 0 runs `body`; others send one tagged message each."""
+
+    def program(ctx):
+        if ctx.rank == 0:
+            result = yield from body(ctx)
+            return result
+        yield ctx.compute(ctx.rank * 1e-6)
+        ctx.isend(0, ctx.rank, tag=1)
+
+    engine, _ = run_program(nprocs, program, network_seed=seed, **kwargs)
+    return engine.procs[0].result
+
+
+class TestTestFamily:
+    def test_test_unmatched_then_matched(self):
+        def body(ctx):
+            req = ctx.irecv(source=ANY_SOURCE, tag=1)
+            flags = []
+            while True:
+                res = yield ctx.test(req, callsite="t")
+                flags.append(res.flag)
+                if res.flag:
+                    break
+                yield ctx.compute(1e-6)
+            # drain the other sender so the run ends cleanly
+            msg = yield from ctx.recv(source=ANY_SOURCE, tag=1)
+            return flags
+
+        flags = run_collector(body)
+        assert flags[-1] is True
+        assert all(f is False for f in flags[:-1])
+
+    def test_testsome_returns_all_ready(self):
+        def body(ctx):
+            reqs = [ctx.irecv(source=ANY_SOURCE, tag=1) for _ in range(2)]
+            got = []
+            while len(got) < 2:
+                res = yield ctx.testsome(reqs, callsite="ts")
+                got.extend(m.payload for m in res.messages if m is not None)
+                yield ctx.compute(5e-5)  # long poll gap: both arrive together
+            return sorted(got)
+
+        assert run_collector(body) == [1, 2]
+
+    def test_testall_is_all_or_nothing(self):
+        def body(ctx):
+            reqs = [ctx.irecv(source=ANY_SOURCE, tag=1) for _ in range(2)]
+            partial_seen = False
+            while True:
+                res = yield ctx.testall(reqs, callsite="ta")
+                if res.flag:
+                    return (partial_seen, len(res.messages))
+                assert res.messages == ()
+                partial_seen = True
+                yield ctx.compute(1e-6)
+
+        _, delivered = run_collector(body)
+        assert delivered == 2
+
+    def test_test_on_send_request_completes_immediately(self):
+        def body(ctx):
+            req = ctx.isend(1, "x", tag=9)
+            res = yield ctx.test(req, callsite="snd")
+            # the irecvs from other ranks must still be drained
+            for _ in range(2):
+                yield from ctx.recv(source=ANY_SOURCE, tag=1)
+            return res.flag
+
+        assert run_collector(body) is True
+
+
+class TestWaitFamily:
+    def test_wait_blocks_until_match(self):
+        def body(ctx):
+            req = ctx.irecv(source=2, tag=1)
+            res = yield ctx.wait(req, callsite="w")
+            yield from ctx.recv(source=1, tag=1)
+            return res.message.src
+
+        assert run_collector(body) == 2
+
+    def test_waitany_returns_exactly_one(self):
+        def body(ctx):
+            reqs = [ctx.irecv(source=ANY_SOURCE, tag=1) for _ in range(2)]
+            res = yield ctx.waitany(reqs, callsite="wa")
+            first = res.message.payload
+            res2 = yield ctx.waitany(reqs, callsite="wa")
+            return sorted([first, res2.message.payload])
+
+        assert run_collector(body) == [1, 2]
+
+    def test_waitall_delivers_in_request_order(self):
+        """Statuses-array semantics: request order, not arrival order."""
+
+        def body(ctx):
+            r_from_2 = ctx.irecv(source=2, tag=1)
+            r_from_1 = ctx.irecv(source=1, tag=1)
+            res = yield ctx.waitall([r_from_2, r_from_1], callsite="wall")
+            return [m.src for m in res.messages]
+
+        assert run_collector(body) == [2, 1]
+
+    def test_waitsome_delivers_available_subset(self):
+        def body(ctx):
+            reqs = [ctx.irecv(source=ANY_SOURCE, tag=1) for _ in range(2)]
+            got = []
+            while len(got) < 2:
+                res = yield ctx.waitsome(reqs, callsite="ws")
+                got.extend(m.payload for m in res.messages if m is not None)
+            return sorted(got)
+
+        assert run_collector(body) == [1, 2]
+
+    def test_mixed_send_recv_wait_rejected(self):
+        def body(ctx):
+            send_req = ctx.isend(1, "x", tag=9)
+            recv_req = ctx.irecv(source=ANY_SOURCE, tag=1)
+            with pytest.raises(CommunicatorError):
+                ctx.waitall([send_req, recv_req])
+            ctx.cancel(recv_req)
+            for _ in range(2):
+                yield from ctx.recv(source=ANY_SOURCE, tag=1)
+            return True
+
+        assert run_collector(body) is True
+
+
+class TestClockPropagation:
+    def test_clocks_update_on_delivery(self):
+        def body(ctx):
+            start = ctx.clock
+            yield from ctx.recv(source=ANY_SOURCE, tag=1)
+            yield from ctx.recv(source=ANY_SOURCE, tag=1)
+            return (start, ctx.clock)
+
+        start, end = run_collector(body)
+        assert end > start
+
+    def test_result_messages_follow_delivery_order(self):
+        """MFResult.messages order == clock update order == recorded order."""
+
+        def body(ctx):
+            reqs = [ctx.irecv(source=ANY_SOURCE, tag=1) for _ in range(2)]
+            clocks = []
+            got = 0
+            while got < 2:
+                res = yield ctx.testsome(reqs, callsite="ord")
+                for m in res.messages:
+                    if m is not None:
+                        got += 1
+                        clocks.append(m.clock)
+            return clocks
+
+        clocks = run_collector(body)
+        assert len(clocks) == 2

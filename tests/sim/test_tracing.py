@@ -1,0 +1,97 @@
+"""Engine flight recorder."""
+
+import pytest
+
+from repro.sim import ANY_SOURCE, Engine, Network
+from repro.sim.tracing import EngineTracer, TraceEvent, format_timeline
+
+
+def fanout_program(ctx):
+    if ctx.rank == 0:
+        for _ in range(ctx.nprocs - 1):
+            yield from ctx.recv(source=ANY_SOURCE)
+    else:
+        yield ctx.compute(ctx.rank * 1e-6)
+        ctx.isend(0, ctx.rank)
+
+
+@pytest.fixture
+def traced_run():
+    tracer = EngineTracer()
+    engine = Engine(4, fanout_program, network=Network(seed=1), tracer=tracer)
+    engine.run()
+    return engine, tracer
+
+
+class TestRecording:
+    def test_captures_resumes_and_deliveries(self, traced_run):
+        _, tracer = traced_run
+        counts = tracer.counts()
+        assert counts["deliver"] == 3
+        assert counts["resume"] >= 4  # one initial resume per rank
+
+    def test_delivery_details_name_source(self, traced_run):
+        _, tracer = traced_run
+        deliveries = [ev for ev in tracer.events if ev.kind == "deliver"]
+        assert all("from" in ev.detail for ev in deliveries)
+        assert all(ev.rank == 0 for ev in deliveries)
+
+    def test_events_time_ordered(self, traced_run):
+        _, tracer = traced_run
+        times = [ev.time for ev in tracer.events]
+        assert times == sorted(times)
+
+    def test_per_rank_counts(self, traced_run):
+        _, tracer = traced_run
+        per_rank = tracer.per_rank()
+        assert per_rank[0] >= 4  # receiver resumes a lot
+
+    def test_ring_buffer_bounds_memory(self):
+        tracer = EngineTracer(capacity=8)
+        for i in range(20):
+            tracer.record(float(i), "resume", 0)
+        assert len(tracer) == 8
+        assert tracer.dropped == 12
+        assert tracer.last(1)[0].time == 19.0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EngineTracer(capacity=0)
+
+
+class TestQueries:
+    def test_window(self, traced_run):
+        _, tracer = traced_run
+        all_events = list(tracer.events)
+        mid = all_events[len(all_events) // 2].time
+        early = tracer.window(0.0, mid)
+        assert all(ev.time < mid for ev in early)
+        assert early
+
+    def test_gaps_detects_idle_periods(self):
+        tracer = EngineTracer()
+        for t in (0.0, 0.1, 5.0, 5.1):
+            tracer.record(t, "resume", 0)
+        gaps = tracer.gaps(threshold=1.0)
+        assert gaps == [(0.1, 5.0)]
+
+    def test_render(self, traced_run):
+        _, tracer = traced_run
+        text = tracer.render(5)
+        assert "engine trace" in text
+        assert "rank" in text
+
+
+class TestTimeline:
+    def test_timeline_rows_per_rank(self, traced_run):
+        _, tracer = traced_run
+        art = format_timeline(tracer.events, width=30)
+        assert art.count("rank") == 4
+        assert all(len(line) == len(art.splitlines()[0]) for line in art.splitlines())
+
+    def test_empty_timeline(self):
+        assert format_timeline([]) == "(no events)"
+
+    def test_single_event(self):
+        art = format_timeline([TraceEvent(1.0, "resume", 2)])
+        assert "rank   2" in art

@@ -1,0 +1,139 @@
+"""CLI end-to-end: record / inspect / replay / compare."""
+
+import pytest
+
+from repro.cli import main
+from repro.replay.chunk_store import RecordArchive
+
+
+@pytest.fixture(scope="module")
+def record_dir(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("cli") / "rec")
+    code = main(
+        [
+            "record",
+            "--workload", "synthetic",
+            "--nprocs", "6",
+            "--network-seed", "3",
+            "--out", directory,
+            "-p", "messages_per_rank=8",
+            "-p", "fanout=2",
+        ]
+    )
+    assert code == 0
+    return directory
+
+
+class TestRecord:
+    def test_archive_written_with_metadata(self, record_dir):
+        archive = RecordArchive.load(record_dir)
+        assert archive.nprocs == 6
+        assert archive.meta["workload"] == "synthetic"
+        assert archive.meta["params"]["messages_per_rank"] == "8"
+        assert archive.total_events() == 6 * 8 * 2
+
+    def test_no_assist_flag(self, tmp_path, capsys):
+        directory = str(tmp_path / "plain")
+        main(
+            [
+                "record", "--workload", "synthetic", "--nprocs", "4",
+                "--out", directory, "--no-assist", "-p", "messages_per_rank=4",
+                "-p", "fanout=1",
+            ]
+        )
+        archive = RecordArchive.load(directory)
+        assert all(
+            c.sender_sequence is None for c in archive.chunks(0)
+        )
+
+    def test_bad_param_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "record", "--workload", "mcb", "--nprocs", "4",
+                    "--out", str(tmp_path / "x"), "-p", "bogus",
+                ]
+            )
+
+    def test_unknown_workload_param_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            main(
+                [
+                    "record", "--workload", "mcb", "--nprocs", "4",
+                    "--out", str(tmp_path / "x"), "-p", "nope=1",
+                ]
+            )
+
+
+class TestReplay:
+    def test_replay_with_verify(self, record_dir, capsys):
+        code = main(
+            ["replay", "--record", record_dir, "--network-seed", "9", "--verify"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "verified" in out
+
+    def test_replay_without_metadata_fails(self, tmp_path):
+        archive = RecordArchive(nprocs=1)
+        directory = str(tmp_path / "bare")
+        archive.save(directory)
+        with pytest.raises(SystemExit):
+            main(["replay", "--record", directory])
+
+
+class TestInspect:
+    def test_summary_table(self, record_dir, capsys):
+        assert main(["inspect", "--record", record_dir]) == 0
+        out = capsys.readouterr().out
+        assert "receive events" in out
+        assert "synthetic:" in out or "synthetic" in out
+
+
+class TestCompare:
+    def test_method_table(self, capsys):
+        code = main(
+            [
+                "compare", "--workload", "synthetic", "--nprocs", "5",
+                "-p", "messages_per_rank=6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "w/o Compression" in out
+        assert "CDC vs gzip" in out
+
+
+class TestTraceExportAndTranscode:
+    def test_record_with_trace_then_transcode(self, tmp_path, capsys):
+        trace = str(tmp_path / "trace.jsonl")
+        main(
+            [
+                "record", "--workload", "synthetic", "--nprocs", "5",
+                "--out", str(tmp_path / "rec"),
+                "-p", "messages_per_rank=6",
+                "--trace-out", trace,
+            ]
+        )
+        code = main(["transcode", "--trace", trace])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "bytes/event" in out
+
+    def test_trace_roundtrips_outcomes(self, tmp_path):
+        from repro.core.trace_io import read_trace
+        from repro.replay import RecordSession
+        from repro.workloads import make_workload
+
+        trace = str(tmp_path / "trace.jsonl")
+        main(
+            [
+                "record", "--workload", "synthetic", "--nprocs", "4",
+                "--out", str(tmp_path / "rec"),
+                "-p", "messages_per_rank=5", "--network-seed", "8",
+                "--trace-out", trace,
+            ]
+        )
+        program, _ = make_workload("synthetic", 4, messages_per_rank="5")
+        rerun = RecordSession(program, nprocs=4, network_seed=8).run()
+        assert read_trace(trace) == rerun.outcomes

@@ -1,0 +1,73 @@
+"""Coupled multi-physics workload (sub-communicator split)."""
+
+import pytest
+
+from repro.core import Method, compare_methods, matched_events, permutation_percentage
+from repro.replay import RecordSession, ReplaySession, assert_replay_matches
+from repro.workloads.coupled import CoupledConfig, build_program
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "bad",
+        [dict(nprocs=3), dict(nprocs=4, transport_ranks=1), dict(nprocs=4, epochs=0)],
+    )
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            CoupledConfig(**bad)
+
+    def test_default_split_is_half(self):
+        assert CoupledConfig(nprocs=10).n_transport == 5
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def record(self):
+        cfg = CoupledConfig(nprocs=8, epochs=3)
+        program = build_program(cfg)
+        return cfg, program, RecordSession(program, nprocs=8, network_seed=6).run()
+
+    def test_groups_assigned(self, record):
+        cfg, _, run = record
+        groups = [run.app_results[r]["group"] for r in range(cfg.nprocs)]
+        assert groups == [0] * cfg.n_transport + [1] * (cfg.nprocs - cfg.n_transport)
+
+    def test_transport_side_is_nondeterministic(self, record):
+        cfg, program, run = record
+        other = RecordSession(program, nprocs=cfg.nprocs, network_seed=60).run()
+        a = [run.app_results[r]["checksum"] for r in range(cfg.n_transport)]
+        b = [other.app_results[r]["checksum"] for r in range(cfg.n_transport)]
+        assert a != b
+
+    def test_mixed_compression_profiles_in_one_run(self, record):
+        """The transport group's callsite permutes; the field group's is
+        hidden-deterministic — one run, both Figure 13 and Figure 17."""
+        cfg, _, run = record
+        sweep = [
+            o for o in run.outcomes[0] if o.callsite == "coupled:sweep"
+        ]
+        field = [
+            o
+            for o in run.outcomes[cfg.n_transport]
+            if o.callsite == "coupled:field"
+        ]
+        assert permutation_percentage(matched_events(sweep)) > 0.05
+        assert permutation_percentage(matched_events(field)) == 0.0
+
+    def test_record_replay_exact(self, record):
+        cfg, program, run = record
+        for seed in (7, 8):
+            replayed = ReplaySession(program, run.archive, network_seed=seed).run()
+            assert_replay_matches(run, replayed)
+
+    def test_compression_still_wins(self, record):
+        cfg, _, run = record
+        report = compare_methods(run.outcomes[0])
+        assert report.sizes[Method.CDC] < report.sizes[Method.GZIP]
+
+    def test_registry_integration(self):
+        from repro.workloads import make_workload
+
+        program, cfg = make_workload("coupled", 6, epochs="2")
+        run = RecordSession(program, nprocs=6, network_seed=1).run()
+        assert run.total_receive_events() > 0

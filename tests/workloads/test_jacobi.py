@@ -1,0 +1,74 @@
+"""Jacobi workload: numerics, determinism, hidden-deterministic record."""
+
+import pytest
+
+from repro.core import Method, compare_methods, matched_events, permutation_percentage
+from repro.replay import BaselineSession, RecordSession
+from repro.workloads.jacobi import JacobiConfig, build_program
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(nprocs=1),
+            dict(nprocs=4, cells_per_rank=1),
+            dict(nprocs=4, iterations=0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            JacobiConfig(**bad)
+
+
+class TestNumerics:
+    @pytest.fixture(scope="class")
+    def run(self):
+        cfg = JacobiConfig(nprocs=5, cells_per_rank=16, iterations=80)
+        return cfg, BaselineSession(build_program(cfg), nprocs=5, network_seed=1).run()
+
+    def test_residual_shrinks_with_iterations(self):
+        cfg_short = JacobiConfig(nprocs=4, cells_per_rank=16, iterations=5, residual_interval=0)
+        cfg_long = JacobiConfig(nprocs=4, cells_per_rank=16, iterations=300, residual_interval=0)
+        short = BaselineSession(build_program(cfg_short), nprocs=4, network_seed=1).run()
+        long = BaselineSession(build_program(cfg_long), nprocs=4, network_seed=1).run()
+        assert long.app_results[0]["residual"] < short.app_results[0]["residual"]
+
+    def test_checksum_finite(self, run):
+        cfg, result = run
+        assert all(
+            abs(result.app_results[r]["checksum"]) < 1e9 for r in range(cfg.nprocs)
+        )
+
+    def test_hidden_determinism_across_network_seeds(self):
+        """The defining property: timing noise does NOT change the result —
+        the communication only looks non-deterministic."""
+        cfg = JacobiConfig(nprocs=5, cells_per_rank=16, iterations=40)
+        a = BaselineSession(build_program(cfg), nprocs=5, network_seed=1).run()
+        b = BaselineSession(build_program(cfg), nprocs=5, network_seed=99).run()
+        assert a.app_results == b.app_results
+
+
+class TestRecordShape:
+    def test_recorded_but_nearly_free(self):
+        """Figure 17's mechanism at unit-test scale."""
+        cfg = JacobiConfig(nprocs=6, cells_per_rank=16, iterations=150, residual_interval=50)
+        run = RecordSession(build_program(cfg), nprocs=6, network_seed=1).run()
+        # wildcard receives ARE recorded
+        assert run.total_receive_events() > 2 * cfg.iterations
+        # boundary ranks (one neighbor) have a perfectly-ordered record
+        edge = [o for o in run.outcomes[0] if o.callsite == "jacobi:halo"]
+        assert permutation_percentage(matched_events(edge)) == 0.0
+        # interior ranks may show a *regular* permutation (neighbor clock
+        # drift flips each waitall pair), which LP encoding flattens; the
+        # storage claim is what matters
+        report = compare_methods(run.outcomes[2])
+        assert report.sizes[Method.CDC] < report.sizes[Method.GZIP] / 4
+
+    def test_halo_exchange_observed_in_request_order(self):
+        """Waitall statuses-order makes the observed order deterministic."""
+        cfg = JacobiConfig(nprocs=4, cells_per_rank=8, iterations=30, residual_interval=0)
+        a = RecordSession(build_program(cfg), nprocs=4, network_seed=1).run()
+        b = RecordSession(build_program(cfg), nprocs=4, network_seed=2).run()
+        # same observed orders under different network seeds
+        assert a.observed_orders == b.observed_orders

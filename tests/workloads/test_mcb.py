@@ -1,0 +1,98 @@
+"""MCB workload: configuration, physics invariants, non-determinism."""
+
+import pytest
+
+from repro.replay import BaselineSession
+from repro.workloads.mcb import MCBConfig, build_program, neighbors_of, tracks_per_second
+
+
+class TestConfig:
+    def test_grid_factorization_square(self):
+        assert MCBConfig(nprocs=16).grid == (4, 4)
+
+    def test_grid_factorization_rect(self):
+        assert MCBConfig(nprocs=12).grid in ((3, 4), (4, 3))
+
+    def test_grid_prime_degenerates_to_line(self):
+        assert MCBConfig(nprocs=7).grid == (1, 7)
+
+    def test_comm_intensity_scales_crossing(self):
+        base = MCBConfig(nprocs=4)
+        hot = MCBConfig(nprocs=4, comm_intensity=2.0)
+        assert hot.effective_crossing == pytest.approx(2 * base.effective_crossing)
+
+    def test_crossing_probability_capped(self):
+        cfg = MCBConfig(nprocs=4, crossing_probability=0.9, comm_intensity=2.0)
+        assert cfg.effective_crossing <= 0.95
+
+    def test_totals(self):
+        cfg = MCBConfig(nprocs=4, particles_per_rank=10, steps_per_particle=5)
+        assert cfg.total_particles == 40
+        assert cfg.total_tracks == 200
+
+    @pytest.mark.parametrize("bad", [dict(nprocs=1), dict(nprocs=4, comm_intensity=0)])
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            MCBConfig(**bad)
+
+
+class TestNeighbors:
+    def test_interior_rank_has_four_neighbors(self):
+        assert len(neighbors_of(5, (4, 4))) == 4
+
+    def test_neighbors_symmetric(self):
+        grid = (4, 4)
+        for r in range(16):
+            for n in neighbors_of(r, grid):
+                assert r in neighbors_of(n, grid)
+
+    def test_ring_grid(self):
+        assert neighbors_of(0, (1, 5)) == [1, 4]
+
+    def test_two_rank_grid(self):
+        assert neighbors_of(0, (1, 2)) == [1]
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def run(self):
+        cfg = MCBConfig(nprocs=6, particles_per_rank=20, seed=5)
+        result = BaselineSession(build_program(cfg), nprocs=6, network_seed=2).run()
+        return cfg, result
+
+    def test_all_tracks_executed(self, run):
+        """Conservation: every particle walks its full lifetime somewhere."""
+        cfg, result = run
+        total_tracked = sum(result.app_results[r]["tracked"] for r in range(6))
+        assert total_tracked == cfg.total_tracks
+
+    def test_tallies_positive(self, run):
+        cfg, result = run
+        assert all(result.app_results[r]["tally"] > 0 for r in range(6))
+
+    def test_same_seed_reproduces(self):
+        cfg = MCBConfig(nprocs=6, particles_per_rank=20, seed=5)
+        a = BaselineSession(build_program(cfg), nprocs=6, network_seed=2).run()
+        b = BaselineSession(build_program(cfg), nprocs=6, network_seed=2).run()
+        assert a.app_results == b.app_results
+
+    def test_network_seed_changes_tallies(self):
+        """The Section 2.1 story: same inputs, different FP results."""
+        cfg = MCBConfig(nprocs=6, particles_per_rank=20, seed=5)
+        a = BaselineSession(build_program(cfg), nprocs=6, network_seed=2).run()
+        b = BaselineSession(build_program(cfg), nprocs=6, network_seed=3).run()
+        tallies_a = [a.app_results[r]["tally"] for r in range(6)]
+        tallies_b = [b.app_results[r]["tally"] for r in range(6)]
+        assert tallies_a != tallies_b
+
+    def test_tracks_per_second_metric(self):
+        cfg = MCBConfig(nprocs=4, particles_per_rank=10)
+        assert tracks_per_second(cfg, 2.0) == cfg.total_tracks / 2.0
+        assert tracks_per_second(cfg, 0.0) == 0.0
+
+    def test_comm_intensity_increases_message_traffic(self):
+        low = MCBConfig(nprocs=6, particles_per_rank=30, seed=5, comm_intensity=0.5)
+        high = MCBConfig(nprocs=6, particles_per_rank=30, seed=5, comm_intensity=2.0)
+        a = BaselineSession(build_program(low), nprocs=6, network_seed=2).run()
+        b = BaselineSession(build_program(high), nprocs=6, network_seed=2).run()
+        assert b.stats.total_messages > a.stats.total_messages

@@ -1,0 +1,116 @@
+"""Unstructured-mesh workload: topology, numerics, record/replay."""
+
+import pytest
+
+from repro.replay import BaselineSession, RecordSession, ReplaySession, assert_replay_matches
+from repro.workloads.unstructured import (
+    UnstructuredConfig,
+    build_program,
+    partition,
+    rank_topology,
+)
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(nprocs=1),
+            dict(nprocs=8, vertices=4),
+            dict(nprocs=4, radius=0.0),
+            dict(nprocs=4, iterations=0),
+        ],
+    )
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            UnstructuredConfig(**bad)
+
+    def test_mesh_is_connected(self):
+        cfg = UnstructuredConfig(nprocs=4, vertices=40, radius=0.15)
+        import networkx as nx
+
+        assert nx.is_connected(cfg.build_mesh())
+
+    def test_mesh_deterministic_given_seed(self):
+        cfg = UnstructuredConfig(nprocs=4)
+        assert sorted(cfg.build_mesh().edges()) == sorted(cfg.build_mesh().edges())
+
+
+class TestTopology:
+    @pytest.fixture(scope="class")
+    def topo(self):
+        cfg = UnstructuredConfig(nprocs=6, vertices=60)
+        return cfg, *rank_topology(cfg)
+
+    def test_neighbor_symmetry(self, topo):
+        cfg, neighbors, shared = topo
+        for r, nbrs in neighbors.items():
+            for s in nbrs:
+                assert r in neighbors[s]
+
+    def test_shared_edges_mirror(self, topo):
+        cfg, neighbors, shared = topo
+        for (r, s), edges in shared.items():
+            mirrored = {(v, u) for u, v in edges}
+            assert mirrored == set(shared[(s, r)])
+
+    def test_irregular_degrees(self, topo):
+        """The point of the workload: neighbor counts vary across ranks."""
+        cfg, neighbors, _ = topo
+        degrees = {len(nbrs) for nbrs in neighbors.values()}
+        assert len(degrees) >= 1  # may be uniform on tiny meshes, but...
+        cfg2 = UnstructuredConfig(nprocs=8, vertices=96, radius=0.25)
+        nbrs2, _ = rank_topology(cfg2)
+        assert len({len(n) for n in nbrs2.values()}) > 1
+
+    def test_partition_balanced(self):
+        cfg = UnstructuredConfig(nprocs=5, vertices=50)
+        owner = partition(cfg)
+        counts = [list(owner.values()).count(r) for r in range(5)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestExecution:
+    @pytest.fixture(scope="class")
+    def record(self):
+        cfg = UnstructuredConfig(nprocs=6, vertices=48, iterations=6)
+        program = build_program(cfg)
+        return cfg, program, RecordSession(program, nprocs=6, network_seed=2).run()
+
+    def test_runs_to_completion(self, record):
+        cfg, _, run = record
+        for r in range(cfg.nprocs):
+            assert run.app_results[r]["degree"] >= 1
+            assert run.app_results[r]["value_sum"] == pytest.approx(
+                run.app_results[r]["value_sum"]
+            )
+
+    def test_checksums_order_sensitive_across_seeds(self, record):
+        cfg, program, run = record
+        other = BaselineSession(program, nprocs=cfg.nprocs, network_seed=7).run()
+        a = [run.app_results[r]["checksum"] for r in range(cfg.nprocs)]
+        b = [other.app_results[r]["checksum"] for r in range(cfg.nprocs)]
+        assert a != b
+
+    def test_smoothing_is_timing_invariant(self, record):
+        """value_sum depends on mesh math only, not on arrival order —
+        a built-in sanity check separating real state from FP noise."""
+        cfg, program, run = record
+        other = BaselineSession(program, nprocs=cfg.nprocs, network_seed=7).run()
+        for r in range(cfg.nprocs):
+            assert run.app_results[r]["value_sum"] == pytest.approx(
+                other.app_results[r]["value_sum"], rel=1e-9
+            )
+
+    def test_record_replay_exact(self, record):
+        cfg, program, run = record
+        for seed in (5, 6):
+            replayed = ReplaySession(program, run.archive, network_seed=seed).run()
+            assert_replay_matches(run, replayed)
+
+    def test_registry_integration(self):
+        from repro.workloads import make_workload
+
+        program, cfg = make_workload("unstructured", 4, vertices="32", iterations="3")
+        run = RecordSession(program, nprocs=4, network_seed=1).run()
+        assert run.total_receive_events() > 0
