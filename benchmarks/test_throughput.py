@@ -5,16 +5,24 @@ producing 258 events/s/process, so the bounded observe queue never blocks;
 the 8-byte clock piggyback costs ~1.18% runtime.
 """
 
+import time
+import warnings
+
 import pytest
 
-from repro.core import compress, Method
+from repro.core import build_tables, compress, encode_chunk_sequence, Method
 from repro.core.events import MFKind, MFOutcome, ReceiveEvent
-from repro.replay import BaselineSession, FluidQueueModel, RecordSession
+from repro.replay import (
+    BaselineSession,
+    FluidQueueModel,
+    RecordSession,
+    encode_chunk_sequence_parallel,
+)
 from repro.replay.cost_model import cdc_cost_model
 from repro.sim import LatencyModel
 from repro.workloads import mcb
 from repro.analysis import render_table
-from benchmarks.conftest import emit
+from benchmarks.conftest import emit, load_previous_bench
 
 
 def synthetic_stream(n):
@@ -32,13 +40,24 @@ def synthetic_stream(n):
     return outs
 
 
+def _best_of(fn, repeats=5):
+    """Minimum wall time over ``repeats`` runs — the standard noise filter."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
 class TestEncoderThroughput:
-    def test_cdc_encoder_events_per_second(self, benchmark):
+    def test_cdc_encoder_events_per_second(self, benchmark, bench_results):
         """Real wall-clock throughput of the Python CDC encoder."""
         outs = synthetic_stream(20_000)
         result = benchmark(compress, outs, Method.CDC)
         assert result
         events_per_sec = len(outs) / benchmark.stats.stats.mean
+        bench_results["encoder_events_per_sec"] = round(events_per_sec)
         emit(
             "throughput_encoder",
             render_table(
@@ -55,6 +74,193 @@ class TestEncoderThroughput:
         # a Python encoder should still beat the paper's *production* rate
         # (258 events/s) by orders of magnitude
         assert events_per_sec > 50_000
+
+
+class TestKernelSpeedup:
+    """Batch numpy kernels vs the scalar reference they replaced.
+
+    The tentpole target is a ≥3x speedup on the varint/LP microbenchmarks;
+    ratios land in BENCH_encoder.json so later PRs can track the trend.
+    """
+
+    N = 200_000
+
+    def _values(self):
+        import random
+
+        rng = random.Random(1)
+        # LP residual distribution: clustered near zero, occasional 2-3 byte
+        return [rng.randrange(-300, 300) for _ in range(self.N)]
+
+    def test_svarint_batch_speedup(self, bench_results):
+        from repro.core.varint import (
+            decode_svarint_array,
+            decode_svarint_array_scalar,
+            encode_svarint_array,
+            encode_svarint_array_scalar,
+        )
+
+        values = self._values()
+        buf = encode_svarint_array(values)
+        assert buf == encode_svarint_array_scalar(values)
+
+        t_scalar = _best_of(lambda: encode_svarint_array_scalar(values))
+        t_batch = _best_of(lambda: encode_svarint_array(values))
+        enc_speedup = t_scalar / t_batch
+
+        t_scalar_d = _best_of(lambda: decode_svarint_array_scalar(buf, 0))
+        t_batch_d = _best_of(lambda: decode_svarint_array(buf, 0))
+        dec_speedup = t_scalar_d / t_batch_d
+
+        bench_results["kernel_svarint_encode_speedup"] = round(enc_speedup, 2)
+        bench_results["kernel_svarint_decode_speedup"] = round(dec_speedup, 2)
+        emit(
+            "throughput_kernels_varint",
+            render_table(
+                "Batch svarint kernels vs scalar reference",
+                ["kernel", "scalar (s)", "batch (s)", "speedup"],
+                [
+                    ("encode", f"{t_scalar:.4f}", f"{t_batch:.4f}", f"{enc_speedup:.1f}x"),
+                    ("decode", f"{t_scalar_d:.4f}", f"{t_batch_d:.4f}", f"{dec_speedup:.1f}x"),
+                ],
+                note=f"{self.N:,} values, LP-residual distribution",
+            ),
+        )
+        assert enc_speedup >= 3.0
+        assert dec_speedup >= 3.0
+
+    def test_lp_batch_speedup(self, bench_results):
+        from repro.core.lp_encoding import (
+            lp_decode,
+            lp_decode_auto,
+            lp_encode,
+            lp_encode_auto,
+        )
+
+        values = sorted(abs(v) * 7 for v in self._values())  # clock-like
+        errors = lp_encode(values)
+        assert list(lp_encode_auto(values)) == errors
+
+        t_scalar = _best_of(lambda: lp_encode(values))
+        t_batch = _best_of(lambda: lp_encode_auto(values))
+        enc_speedup = t_scalar / t_batch
+
+        t_scalar_d = _best_of(lambda: lp_decode(errors))
+        t_batch_d = _best_of(lambda: lp_decode_auto(errors))
+        dec_speedup = t_scalar_d / t_batch_d
+
+        bench_results["kernel_lp_encode_speedup"] = round(enc_speedup, 2)
+        bench_results["kernel_lp_decode_speedup"] = round(dec_speedup, 2)
+        emit(
+            "throughput_kernels_lp",
+            render_table(
+                "Batch order-2 LP kernels vs scalar reference",
+                ["kernel", "scalar (s)", "batch (s)", "speedup"],
+                [
+                    ("encode", f"{t_scalar:.4f}", f"{t_batch:.4f}", f"{enc_speedup:.1f}x"),
+                    ("decode", f"{t_scalar_d:.4f}", f"{t_batch_d:.4f}", f"{dec_speedup:.1f}x"),
+                ],
+                note=f"{len(values):,} monotone clock-like values",
+            ),
+        )
+        assert enc_speedup >= 3.0
+        assert dec_speedup >= 3.0
+
+
+class TestParallelEncode:
+    def test_parallel_chunk_encode(self, bench_results):
+        """Single-thread vs pooled chunk encoding over many callsites."""
+        outs = synthetic_stream(60_000)
+        # spread the stream over 8 callsites so the pool has independent work
+        outs = [
+            MFOutcome(f"cs{i % 8}", o.kind, o.matched) for i, o in enumerate(outs)
+        ]
+        tables = [
+            t
+            for ts in build_tables(outs, chunk_events=512).values()
+            for t in ts
+        ]
+        by_callsite = {}
+        for t in tables:
+            by_callsite.setdefault(t.callsite, []).append(t)
+
+        def serial():
+            return [
+                c
+                for ts in by_callsite.values()
+                for c in encode_chunk_sequence(ts)
+            ]
+
+        def parallel():
+            return encode_chunk_sequence_parallel(tables, workers=4)
+
+        serial_chunks = serial()
+        parallel_chunks = parallel()
+        # identical output, callsite by callsite, regardless of scheduling
+        grouped = {}
+        for c in parallel_chunks:
+            grouped.setdefault(c.callsite, []).append(c)
+        assert {cs: cv for cs, cv in grouped.items()} == {
+            cs: encode_chunk_sequence(ts) for cs, ts in by_callsite.items()
+        }
+
+        import os
+
+        cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+        t_serial = _best_of(serial, repeats=3)
+        t_parallel = _best_of(parallel, repeats=3)
+        speedup = t_serial / t_parallel
+        bench_results["parallel_encode_speedup"] = round(speedup, 2)
+        bench_results["parallel_encode_workers"] = 4
+        bench_results["cpu_cores"] = cores
+        emit(
+            "throughput_parallel_encode",
+            render_table(
+                "Chunk encoding: single thread vs 4-worker pool",
+                ["path", "wall time (s)"],
+                [
+                    ("serial", f"{t_serial:.4f}"),
+                    ("parallel (4 workers)", f"{t_parallel:.4f}"),
+                ],
+                note=f"speedup {speedup:.2f}x on {len(tables)} chunks, "
+                f"{cores} core(s) available; thread speedup requires "
+                "multiple cores (numpy stages release the GIL)",
+            ),
+        )
+        assert len(serial_chunks) == len(tables)
+        # on a single core the pool is pure overhead; only demand a win
+        # when the hardware can actually deliver one
+        if cores and cores >= 4:
+            assert speedup > 1.0
+
+
+class TestRegressionGuard:
+    def test_encoder_throughput_not_regressed(self, bench_results):
+        """Compare this run's encoder rate to the last BENCH_encoder.json.
+
+        >25% slower fails the suite; any slowdown below that warns. Runs
+        after the throughput test (file order), before the session-exit
+        rewrite of the JSON, so the comparison is old-file vs fresh number.
+        """
+        current = bench_results.get("encoder_events_per_sec")
+        if current is None:
+            pytest.skip("encoder throughput was not measured this session")
+        previous = load_previous_bench()
+        if not previous or "encoder_events_per_sec" not in previous:
+            pytest.skip("no previous BENCH_encoder.json to compare against")
+        prev = previous["encoder_events_per_sec"]
+        ratio = current / prev
+        if ratio < 0.75:
+            pytest.fail(
+                f"encoder throughput regressed {100 * (1 - ratio):.0f}%: "
+                f"{current:,} events/s now vs {prev:,} recorded"
+            )
+        if ratio < 1.0:
+            warnings.warn(
+                f"encoder throughput down {100 * (1 - ratio):.1f}% vs last "
+                f"recorded run ({current:,} vs {prev:,} events/s)",
+                stacklevel=1,
+            )
 
 
 class TestQueueBalance:

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.core.lp_encoding import lp_encode
+from repro.core.lp_encoding import lp_encode_auto
 from repro.core.pipeline import CDCChunk
 from repro.core.varint import array_payload_size, uvarint_size
 from repro.replay.chunk_store import RecordArchive
@@ -79,22 +79,22 @@ def chunk_breakdown(chunk: CDCChunk, callsite_id: int = 0) -> SizeBreakdown:
     b = SizeBreakdown(chunks=1, events=chunk.num_events)
     b.header = uvarint_size(callsite_id) + uvarint_size(chunk.num_events)
     b.permutation = array_payload_size(
-        lp_encode(chunk.diff.indices), signed=True
+        lp_encode_auto(chunk.diff.indices), signed=True
     ) + array_payload_size(chunk.diff.delays, signed=True)
     b.with_next = array_payload_size(
-        lp_encode(chunk.with_next_indices), signed=True
+        lp_encode_auto(chunk.with_next_indices), signed=True
     )
     u_idx = [i for i, _ in chunk.unmatched_runs]
     u_cnt = [c for _, c in chunk.unmatched_runs]
     b.unmatched = array_payload_size(
-        lp_encode(u_idx), signed=True
+        lp_encode_auto(u_idx), signed=True
     ) + array_payload_size(u_cnt, signed=False)
     pairs = chunk.epoch.as_sorted_pairs()
     counts = dict(chunk.sender_counts)
     mins = dict(chunk.sender_min_clocks)
     ranks = [r for r, _ in pairs]
     b.epoch = (
-        array_payload_size(lp_encode(ranks), signed=True)
+        array_payload_size(lp_encode_auto(ranks), signed=True)
         + array_payload_size([c for _, c in pairs], signed=True)
         + array_payload_size([counts[r] for r in ranks], signed=False)
         + array_payload_size([c - mins[r] for r, c in pairs], signed=False)

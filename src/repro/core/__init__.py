@@ -15,9 +15,10 @@ from repro.core.compression import (
     compare_methods,
     compress,
 )
+from repro.core import kernels
 from repro.core.epoch import EpochLine
 from repro.core.events import MFKind, MFOutcome, QuintupleRow, ReceiveEvent
-from repro.core.lp_encoding import lp_decode, lp_encode
+from repro.core.lp_encoding import lp_decode, lp_decode_auto, lp_encode, lp_encode_auto
 from repro.core.metrics import (
     ValueCountBreakdown,
     matched_events,
@@ -67,8 +68,11 @@ __all__ = [
     "encode_chunk",
     "encode_chunk_sequence",
     "encode_permutation",
+    "kernels",
     "lp_decode",
+    "lp_decode_auto",
     "lp_encode",
+    "lp_encode_auto",
     "matched_events",
     "monotonic_fraction",
     "permutation_percentage",

@@ -90,15 +90,21 @@ def permutation_edit_distance(b: Sequence[int]) -> int:
     return 2 * (len(b) - lis_length(b))
 
 
-def stable_and_moved(b: Sequence[int]) -> tuple[list[int], list[int]]:
+def stable_and_moved(
+    b: Sequence[int], validated: bool = False
+) -> tuple[list[int], list[int]]:
     """Split the permutation ``b`` into (stable values, moved values).
 
     Stable values are a canonical LIS of ``b`` — the receives that already
     follow the reference order. Moved values are everything else, returned
     sorted ascending (i.e. by reference index), the order in which the
     permutation-difference table records them (Figure 7).
+
+    ``validated=True`` skips the permutation check for callers that
+    construct ``b`` by inverting an argsort (always a valid permutation).
     """
-    validate_permutation(b)
+    if not validated:
+        validate_permutation(b)
     keep = longest_increasing_subsequence(b)
     stable = [b[i] for i in keep]
     stable_set = set(stable)

@@ -19,14 +19,17 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.epoch import EpochLine
 from repro.core.events import QuintupleRow, ReceiveEvent
-from repro.core.lp_encoding import lp_decode, lp_encode
+from repro.core.lp_encoding import lp_decode_auto, lp_encode_auto
 from repro.core.permutation import PermutationDiff
 from repro.core.pipeline import CDCChunk
 from repro.core.record_table import RecordTable
 from repro.core.varint import (
     decode_svarint_array,
+    decode_svarint_array_np,
     decode_uvarint,
     decode_uvarint_array,
     encode_svarint_array,
@@ -34,6 +37,11 @@ from repro.core.varint import (
     encode_uvarint_array,
 )
 from repro.errors import RecordFormatError
+
+
+def _as_list(column) -> list[int]:
+    """Materialize a decoded column as a list of true Python ints."""
+    return column.tolist() if isinstance(column, np.ndarray) else column
 
 RAW_MAGIC = b"CDR0"
 RE_MAGIC = b"CDR1"
@@ -202,10 +210,10 @@ def serialize_cdc_chunks(chunks: Sequence[CDCChunk]) -> bytes:
     for chunk in chunks:
         encode_uvarint(cs_id[chunk.callsite], out)
         encode_uvarint(chunk.num_events, out)
-        out += encode_svarint_array(lp_encode(chunk.diff.indices))
+        out += encode_svarint_array(lp_encode_auto(chunk.diff.indices))
         out += encode_svarint_array(chunk.diff.delays)
-        out += encode_svarint_array(lp_encode(chunk.with_next_indices))
-        out += encode_svarint_array(lp_encode([i for i, _ in chunk.unmatched_runs]))
+        out += encode_svarint_array(lp_encode_auto(chunk.with_next_indices))
+        out += encode_svarint_array(lp_encode_auto([i for i, _ in chunk.unmatched_runs]))
         out += encode_uvarint_array([c for _, c in chunk.unmatched_runs])
         pairs = chunk.epoch.as_sorted_pairs()
         counts_by_rank = dict(chunk.sender_counts)
@@ -213,7 +221,7 @@ def serialize_cdc_chunks(chunks: Sequence[CDCChunk]) -> bytes:
         ranks = [r for r, _ in pairs]
         if sorted(counts_by_rank) != ranks or sorted(mins_by_rank) != ranks:
             raise RecordFormatError("epoch / count / min-clock ranks disagree")
-        out += encode_svarint_array(lp_encode(ranks))
+        out += encode_svarint_array(lp_encode_auto(ranks))
         out += encode_svarint_array([c for _, c in pairs])
         out += encode_uvarint_array([counts_by_rank[r] for r in ranks])
         # first clock per sender, stored as the (>= 0) gap below the epoch
@@ -245,12 +253,12 @@ def deserialize_cdc_chunks(data: bytes) -> list[CDCChunk]:
         if cs >= len(callsites):
             raise RecordFormatError(f"callsite id {cs} out of range")
         num_events, offset = decode_uvarint(data, offset)
-        p_idx_lp, offset = decode_svarint_array(data, offset)
+        p_idx_lp, offset = decode_svarint_array_np(data, offset)
         p_delay, offset = decode_svarint_array(data, offset)
-        w_idx_lp, offset = decode_svarint_array(data, offset)
-        u_idx_lp, offset = decode_svarint_array(data, offset)
+        w_idx_lp, offset = decode_svarint_array_np(data, offset)
+        u_idx_lp, offset = decode_svarint_array_np(data, offset)
         u_cnt, offset = decode_uvarint_array(data, offset)
-        e_rank_lp, offset = decode_svarint_array(data, offset)
+        e_rank_lp, offset = decode_svarint_array_np(data, offset)
         e_clock, offset = decode_svarint_array(data, offset)
         e_count, offset = decode_uvarint_array(data, offset)
         e_min_gap, offset = decode_uvarint_array(data, offset)
@@ -268,13 +276,13 @@ def deserialize_cdc_chunks(data: bytes) -> list[CDCChunk]:
             sender_sequence = tuple(seq)
         elif assist_flag != 0:
             raise RecordFormatError(f"bad assist flag {assist_flag}")
-        p_idx = lp_decode(p_idx_lp)
+        p_idx = _as_list(lp_decode_auto(p_idx_lp))
         if len(p_idx) != len(p_delay):
             raise RecordFormatError("permutation columns disagree")
-        u_idx = lp_decode(u_idx_lp)
+        u_idx = _as_list(lp_decode_auto(u_idx_lp))
         if len(u_idx) != len(u_cnt):
             raise RecordFormatError("unmatched columns disagree")
-        e_rank = lp_decode(e_rank_lp)
+        e_rank = _as_list(lp_decode_auto(e_rank_lp))
         if not (len(e_rank) == len(e_clock) == len(e_count) == len(e_min_gap)):
             raise RecordFormatError("epoch columns disagree")
         chunks.append(
@@ -282,7 +290,7 @@ def deserialize_cdc_chunks(data: bytes) -> list[CDCChunk]:
                 callsite=callsites[cs],
                 num_events=num_events,
                 diff=PermutationDiff(num_events, tuple(p_idx), tuple(p_delay)),
-                with_next_indices=tuple(lp_decode(w_idx_lp)),
+                with_next_indices=tuple(_as_list(lp_decode_auto(w_idx_lp))),
                 unmatched_runs=tuple(zip(u_idx, u_cnt)),
                 epoch=EpochLine(dict(zip(e_rank, e_clock))),
                 sender_counts=tuple(zip(e_rank, e_count)),

@@ -1,0 +1,246 @@
+"""Batched encode/decode kernels for the CDC hot path.
+
+The chunk format is byte-oriented (zig-zag + LEB128 varints over LP-encoded
+columns, see :mod:`repro.core.varint` / :mod:`repro.core.lp_encoding`), and
+the scalar reference implementations pay Python-interpreter cost on every
+*byte*. These kernels process whole columns as numpy arrays: byte lengths
+are computed with a handful of vectorized comparisons, payload bytes with at
+most ``max_len`` masked shift/or passes — so the per-event cost is a few
+C-loop operations instead of a Python loop iteration.
+
+Contract
+--------
+* **Byte-identical output.** For every input the scalar reference accepts,
+  the batch encoder produces the exact same byte stream and the batch
+  decoder consumes the exact same bytes. This is asserted by property tests
+  (``tests/core/test_kernels.py``) and is what lets the serialization layer
+  switch paths freely.
+* **Graceful fallback.** Values outside the int64/uint64 range (the formats
+  must not silently corrupt arbitrary-precision Python ints) and varints
+  longer than 9 bytes fall back to the scalar implementations in
+  :mod:`repro.core.varint`. The fallback is the correctness reference, not
+  an error path.
+
+The kernels are pure functions over ``bytes`` / ``numpy.ndarray``; all
+policy (length prefixes, column layout) stays in the callers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.errors import RecordFormatError
+
+__all__ = [
+    "IntArray",
+    "zigzag_encode_array",
+    "zigzag_decode_array",
+    "uvarint_encode_batch",
+    "svarint_encode_batch",
+    "uvarint_decode_batch",
+    "svarint_decode_batch",
+    "uvarint_sizes",
+]
+
+#: Accepted column types: any int sequence or a numpy integer array.
+IntArray = Union[Sequence[int], np.ndarray]
+
+_U7 = np.uint64(7)
+_U1 = np.uint64(1)
+_PAYLOAD_MASK = np.uint64(0x7F)
+_CONT_BIT = np.uint8(0x80)
+
+#: Longest varint the numpy path handles: 9 bytes = 63 payload bits. The
+#: 10-byte case (top uint64 bit set) and the scalar decoder's tolerance for
+#: over-long encodings (up to shift 128) go through the scalar fallback.
+_MAX_FAST_LEN = 9
+
+#: Thresholds for vectorized byte-length computation: value >= 2**(7k)
+#: needs at least k+1 bytes.
+_LEN_THRESHOLDS = np.array([1 << (7 * k) for k in range(1, 10)], dtype=np.uint64)
+
+
+# ---------------------------------------------------------------------------
+# zig-zag (vectorized int64 <-> uint64)
+# ---------------------------------------------------------------------------
+
+
+def zigzag_encode_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized zig-zag map: int64 array -> uint64 array.
+
+    Matches :func:`repro.core.varint.zigzag_encode` for every int64.
+    """
+    x = np.ascontiguousarray(values, dtype=np.int64)
+    u = x.view(np.uint64)
+    sign = (x >> np.int64(63)).view(np.uint64)  # 0 or 0xFFF...F
+    return ((u << _U1) ^ sign).astype(np.uint64, copy=False)
+
+
+def zigzag_decode_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized zig-zag inverse: uint64 array -> int64 array."""
+    z = np.ascontiguousarray(values, dtype=np.uint64)
+    half = z >> _U1
+    return np.where((z & _U1).astype(bool), ~half, half).view(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# LEB128 batch encode
+# ---------------------------------------------------------------------------
+
+
+def uvarint_sizes(values: np.ndarray) -> np.ndarray:
+    """Per-value encoded byte length (vectorized :func:`uvarint_size`)."""
+    v = np.ascontiguousarray(values, dtype=np.uint64)
+    sizes = np.ones(v.shape, dtype=np.intp)
+    for threshold in _LEN_THRESHOLDS:
+        sizes += v >= threshold
+    return sizes
+
+
+def _encode_u64(v: np.ndarray) -> bytes:
+    """Concatenated LEB128 varints for a uint64 array (no length prefix)."""
+    if v.size == 0:
+        return b""
+    if bool((v < np.uint64(0x80)).all()):
+        # single-byte fast path: the common case for LP residuals
+        return v.astype(np.uint8).tobytes()
+    sizes = uvarint_sizes(v)
+    ends = np.cumsum(sizes)
+    starts = ends - sizes
+    out = np.zeros(int(ends[-1]), dtype=np.uint8)
+    rem = v.copy()
+    max_len = int(sizes.max())
+    for j in range(max_len):
+        mask = sizes > j
+        byte = (rem[mask] & _PAYLOAD_MASK).astype(np.uint8)
+        cont = (sizes[mask] > j + 1).astype(np.uint8) << 7
+        out[starts[mask] + j] = byte | cont
+        rem >>= _U7
+    return out.tobytes()
+
+
+def uvarint_encode_batch(values: IntArray) -> bytes | None:
+    """Encode a column of unsigned ints as concatenated LEB128 varints.
+
+    Returns ``None`` when any value is outside uint64 (caller must use the
+    scalar fallback). Negative values raise, matching the scalar encoder.
+    """
+    if isinstance(values, np.ndarray):
+        if values.dtype.kind == "i":
+            if values.size and bool((values < 0).any()):
+                first_bad = int(values[values < 0][0])
+                raise ValueError(f"uvarint requires value >= 0, got {first_bad}")
+            v = values.astype(np.uint64)
+        elif values.dtype.kind == "u":
+            v = values.astype(np.uint64, copy=False)
+        else:
+            return None
+        return _encode_u64(v)
+    try:
+        v = np.asarray(values, dtype=np.uint64)
+    except OverflowError:
+        # either a negative (must raise like the scalar encoder) or a value
+        # beyond uint64 (arbitrary precision: scalar fallback)
+        for x in values:
+            if x < 0:
+                raise ValueError(f"uvarint requires value >= 0, got {x}")
+        return None
+    except (ValueError, TypeError):
+        return None
+    return _encode_u64(v)
+
+
+def svarint_encode_batch(values: IntArray) -> bytes | None:
+    """Encode a column of signed ints as zig-zag LEB128 varints.
+
+    Returns ``None`` when any value is outside int64.
+    """
+    if isinstance(values, np.ndarray):
+        if values.dtype.kind == "u":
+            if values.size and bool((values >= np.uint64(1) << np.uint64(63)).any()):
+                return None
+            x = values.astype(np.int64)
+        elif values.dtype.kind == "i":
+            x = values.astype(np.int64, copy=False)
+        else:
+            return None
+        return _encode_u64(zigzag_encode_array(x))
+    try:
+        x = np.asarray(values, dtype=np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return None
+    return _encode_u64(zigzag_encode_array(x))
+
+
+# ---------------------------------------------------------------------------
+# LEB128 batch decode
+# ---------------------------------------------------------------------------
+
+
+def _find_terminators(arr: np.ndarray, offset: int, count: int) -> np.ndarray:
+    """Absolute positions of the first ``count`` varint-final bytes.
+
+    Scans an exponentially growing window so decoding one short array out of
+    a long buffer stays O(bytes consumed), not O(buffer).
+    """
+    total = arr.shape[0]
+    window = min(total, offset + max(64, 2 * count + 16))
+    while True:
+        term = np.flatnonzero(arr[offset:window] < _CONT_BIT)
+        if term.shape[0] >= count or window >= total:
+            break
+        window = min(total, offset + 2 * (window - offset))
+    if term.shape[0] < count:
+        raise RecordFormatError(f"truncated varint at offset {offset}")
+    return term[:count] + offset
+
+
+def uvarint_decode_batch(
+    buf: bytes, offset: int, count: int
+) -> tuple[np.ndarray, int] | None:
+    """Decode ``count`` consecutive LEB128 varints starting at ``offset``.
+
+    Returns ``(uint64 array, next offset)``, or ``None`` when a varint is
+    longer than the 9-byte fast-path limit (caller decodes scalar — this
+    covers 10-byte uint64 values and the over-long encodings the scalar
+    decoder tolerates). Raises :class:`RecordFormatError` on truncation,
+    same as the scalar decoder.
+    """
+    if count == 0:
+        return np.empty(0, dtype=np.uint64), offset
+    arr = np.frombuffer(buf, dtype=np.uint8)
+    if offset >= arr.shape[0]:
+        raise RecordFormatError(f"truncated varint at offset {offset}")
+    ends = _find_terminators(arr, offset, count)
+    starts = np.empty(count, dtype=np.intp)
+    starts[0] = offset
+    starts[1:] = ends[:-1] + 1
+    sizes = ends - starts + 1
+    max_len = int(sizes.max())
+    if max_len > _MAX_FAST_LEN:
+        return None
+    values = np.zeros(count, dtype=np.uint64)
+    if max_len == 1:
+        values |= arr[starts].astype(np.uint64)
+    else:
+        for j in range(max_len):
+            mask = sizes > j
+            byte = arr[starts[mask] + j].astype(np.uint64)
+            values[mask] |= (byte & _PAYLOAD_MASK) << np.uint64(7 * j)
+    return values, int(ends[-1]) + 1
+
+
+def svarint_decode_batch(
+    buf: bytes, offset: int, count: int
+) -> tuple[np.ndarray, int] | None:
+    """Decode ``count`` zig-zag varints; ``(int64 array, next offset)``.
+
+    Same fallback contract as :func:`uvarint_decode_batch`.
+    """
+    decoded = uvarint_decode_batch(buf, offset, count)
+    if decoded is None:
+        return None
+    raw, pos = decoded
+    return zigzag_decode_array(raw), pos

@@ -93,6 +93,59 @@ def lp_decode_array(errors: np.ndarray) -> np.ndarray:
     return np.cumsum(np.cumsum(e))
 
 
+#: values with |x| below this bound cannot overflow int64 through the
+#: order-2 predictor (|e| = |x - 2x' + x''| <= 4 * max|x|).
+_ENCODE_SAFE_BOUND = 1 << 61
+
+#: float64 shadow-decode threshold: if the reconstructed magnitudes stay
+#: below this, the int64 cumsum path is provably exact (2x margin to 2**63,
+#: far above float64 rounding error on the shadow).
+_DECODE_SAFE_BOUND = float(1 << 62)
+
+
+def lp_encode_auto(values: Sequence[int] | np.ndarray) -> np.ndarray | list[int]:
+    """Order-2 LP encode, batched when safe.
+
+    Returns the numpy fast path (:func:`lp_encode_array`) whenever the
+    values provably cannot overflow int64 through the predictor, and the
+    arbitrary-precision scalar path (:func:`lp_encode`) otherwise. Both
+    produce identical value sequences; callers only see the container type.
+    """
+    try:
+        x = np.asarray(values, dtype=np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return lp_encode(_as_int_list(values))
+    if x.size and max(int(x.max()), -int(x.min())) >= _ENCODE_SAFE_BOUND:
+        return lp_encode(_as_int_list(values))
+    return lp_encode_array(x)
+
+
+def lp_decode_auto(errors: Sequence[int] | np.ndarray) -> np.ndarray | list[int]:
+    """Order-2 LP decode, batched when safe (inverse of :func:`lp_encode_auto`).
+
+    The double cumsum wraps silently on int64 overflow, so a float64 shadow
+    decode bounds the reconstructed magnitudes first; anything close to the
+    int64 limit takes the exact scalar path.
+    """
+    try:
+        e = np.asarray(errors, dtype=np.int64)
+    except (OverflowError, ValueError, TypeError):
+        return lp_decode(_as_int_list(errors))
+    if e.size:
+        shadow = np.cumsum(np.cumsum(e.astype(np.float64)))
+        if float(np.abs(shadow).max()) >= _DECODE_SAFE_BOUND:
+            return lp_decode(_as_int_list(errors))
+    return lp_decode_array(e)
+
+
+def _as_int_list(values: Sequence[int] | np.ndarray) -> list[int]:
+    # numpy int64 scalars wrap on overflow inside the pure-Python loops, so
+    # the scalar fallback must see true Python ints
+    if isinstance(values, np.ndarray):
+        return values.tolist()
+    return [int(v) for v in values]
+
+
 def prediction_quality(values: Sequence[int], coeffs: Sequence[int] = PAPER_COEFFS) -> float:
     """Fraction of exactly-predicted values (``e_n == 0``), excluding warmup.
 

@@ -72,7 +72,9 @@ class PermutationDiff:
         return not self.indices
 
 
-def encode_permutation(observed: Sequence[int]) -> PermutationDiff:
+def encode_permutation(
+    observed: Sequence[int], validated: bool = False
+) -> PermutationDiff:
     """Encode an observed order (as reference indices) into a diff table.
 
     Parameters
@@ -80,9 +82,13 @@ def encode_permutation(observed: Sequence[int]) -> PermutationDiff:
     observed:
         Permutation of ``0..N-1``; ``observed[p]`` is the reference index of
         the event delivered at observed position ``p``.
+    validated:
+        Skip the permutation check; only for callers whose construction
+        guarantees a valid permutation (e.g. inverting an argsort).
     """
-    validate_permutation(observed)
-    _, moved = stable_and_moved(observed)
+    if not validated:
+        validate_permutation(observed)
+    _, moved = stable_and_moved(observed, validated=True)
     if not moved:
         return PermutationDiff(len(observed), (), ())
     pos = {x: p for p, x in enumerate(observed)}

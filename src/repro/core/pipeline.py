@@ -21,8 +21,11 @@ once a chunk's receives are in hand.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
+
+import numpy as np
 
 from repro.core.epoch import EpochLine
 from repro.core.events import ReceiveEvent
@@ -100,13 +103,18 @@ class CDCChunk:
         )
 
 
+#: Definition 6 sort key, precomputed as a C-level attribute fetch instead
+#: of a Python lambda calling the ``key`` property per comparison.
+_REF_KEY = operator.attrgetter("clock", "rank")
+
+
 def reference_order(events: Iterable[ReceiveEvent]) -> list[ReceiveEvent]:
     """Sort receives into the Definition 6 reference order.
 
     Primary key: piggybacked Lamport clock; tie-break: sender rank ("a
     message from a smaller rank is earlier than ones from bigger ranks").
     """
-    return sorted(events, key=lambda ev: ev.key)
+    return sorted(events, key=_REF_KEY)
 
 
 def encode_chunk(
@@ -124,35 +132,110 @@ def encode_chunk(
     it in *earlier* chunks of the same callsite; events at or below their
     sender's prior ceiling become boundary exceptions (see CDCChunk).
     """
-    ref = reference_order(table.matched)
-    observed_indices = observed_as_reference_indices(
-        [ev.key for ev in table.matched], [ev.key for ev in ref]
+    matched = table.matched
+    encoded = _encode_matched_batch(matched, prior_ceilings)
+    if encoded is None:
+        encoded = _encode_matched_scalar(matched, prior_ceilings)
+    observed_indices, sender_counts, sender_min_clocks, exceptions = encoded
+    return CDCChunk(
+        callsite=table.callsite,
+        num_events=len(matched),
+        # both index paths construct a valid permutation (inverse argsort /
+        # unique-key lookup), so the O(n) re-validation is skipped
+        diff=encode_permutation(observed_indices, validated=True),
+        with_next_indices=table.with_next_indices,
+        unmatched_runs=table.unmatched_runs,
+        epoch=EpochLine.from_events(matched),
+        sender_counts=sender_counts,
+        sender_min_clocks=sender_min_clocks,
+        boundary_exceptions=exceptions,
+        sender_sequence=tuple(ev.rank for ev in matched)
+        if replay_assist
+        else None,
     )
-    diff = encode_permutation(observed_indices)
+
+
+def _encode_matched_batch(
+    matched: Sequence[ReceiveEvent],
+    prior_ceilings: Mapping[int, int] | None,
+) -> tuple | None:
+    """Vectorized permutation indices + per-sender stats for one chunk.
+
+    Returns ``None`` when any rank/clock falls outside int64 (arbitrary
+    precision: the scalar path handles it). Results are identical to
+    :func:`_encode_matched_scalar` — asserted by the pipeline property
+    tests.
+    """
+    n = len(matched)
+    if n == 0:
+        return [], (), (), ()
+    try:
+        ranks = np.fromiter((ev.rank for ev in matched), np.int64, count=n)
+        clocks = np.fromiter((ev.clock for ev in matched), np.int64, count=n)
+        order = np.lexsort((ranks, clocks))  # Definition 6: clock, then rank
+        sorted_ranks = ranks[order]
+        sorted_clocks = clocks[order]
+        if n > 1 and bool(
+            (
+                (sorted_clocks[1:] == sorted_clocks[:-1])
+                & (sorted_ranks[1:] == sorted_ranks[:-1])
+            ).any()
+        ):
+            raise DecodingError("reference keys are not unique")
+        # observed position p holds the event at reference slot inv[p]
+        inv = np.empty(n, dtype=np.intp)
+        inv[order] = np.arange(n, dtype=np.intp)
+        # per-sender count and min clock: ``sorted_ranks`` is in ascending
+        # clock order, so each sender's first occurrence is its min clock
+        uniq, first_idx, rank_counts = np.unique(
+            sorted_ranks, return_index=True, return_counts=True
+        )
+        sender_counts = tuple(zip(uniq.tolist(), rank_counts.tolist()))
+        sender_min_clocks = tuple(
+            zip(uniq.tolist(), sorted_clocks[first_idx].tolist())
+        )
+        exceptions: tuple = ()
+        if prior_ceilings:
+            ceil = np.fromiter(
+                (prior_ceilings.get(int(r), -1) for r in uniq),
+                np.int64,
+                count=uniq.shape[0],
+            )
+            over = clocks <= ceil[np.searchsorted(uniq, ranks)]
+            if bool(over.any()):
+                exceptions = tuple(
+                    sorted(zip(ranks[over].tolist(), clocks[over].tolist()))
+                )
+        return inv.tolist(), sender_counts, sender_min_clocks, exceptions
+    except OverflowError:
+        return None
+
+
+def _encode_matched_scalar(
+    matched: Sequence[ReceiveEvent],
+    prior_ceilings: Mapping[int, int] | None,
+) -> tuple:
+    """Reference implementation of :func:`_encode_matched_batch`."""
+    ref = reference_order(matched)
+    observed_indices = observed_as_reference_indices(
+        [ev.key for ev in matched], [ev.key for ev in ref]
+    )
     counts: dict[int, int] = {}
     min_clocks: dict[int, int] = {}
-    for ev in table.matched:
+    for ev in matched:
         counts[ev.rank] = counts.get(ev.rank, 0) + 1
         if ev.rank not in min_clocks or ev.clock < min_clocks[ev.rank]:
             min_clocks[ev.rank] = ev.clock
     exceptions: list[tuple[int, int]] = []
     if prior_ceilings:
-        for ev in table.matched:
+        for ev in matched:
             if ev.clock <= prior_ceilings.get(ev.rank, -1):
                 exceptions.append((ev.rank, ev.clock))
-    return CDCChunk(
-        callsite=table.callsite,
-        num_events=len(table.matched),
-        diff=diff,
-        with_next_indices=table.with_next_indices,
-        unmatched_runs=table.unmatched_runs,
-        epoch=EpochLine.from_events(table.matched),
-        sender_counts=tuple(sorted(counts.items())),
-        sender_min_clocks=tuple(sorted(min_clocks.items())),
-        boundary_exceptions=tuple(sorted(exceptions)),
-        sender_sequence=tuple(ev.rank for ev in table.matched)
-        if replay_assist
-        else None,
+    return (
+        observed_indices,
+        tuple(sorted(counts.items())),
+        tuple(sorted(min_clocks.items())),
+        tuple(sorted(exceptions)),
     )
 
 

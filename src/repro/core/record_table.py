@@ -132,17 +132,20 @@ class RecordTableBuilder:
                 f"outcome for callsite {outcome.callsite!r} fed to builder "
                 f"for {self.callsite!r}"
             )
-        if not outcome.flag:
+        events = outcome.matched
+        if not events:
             self._pending_unmatched += 1
             return
+        matched = self.matched
         if self._pending_unmatched:
-            self.unmatched_runs.append((len(self.matched), self._pending_unmatched))
+            self.unmatched_runs.append((len(matched), self._pending_unmatched))
             self._pending_unmatched = 0
-        base = len(self.matched)
-        for i, ev in enumerate(outcome.matched):
-            if i + 1 < len(outcome.matched):
-                self.with_next_indices.append(base + i)
-            self.matched.append(ev)
+        if len(events) == 1:  # the overwhelmingly common case
+            matched.append(events[0])
+            return
+        base = len(matched)
+        self.with_next_indices.extend(range(base, base + len(events) - 1))
+        matched.extend(events)
 
     @property
     def num_events(self) -> int:

@@ -4,16 +4,26 @@ CDC's tables are dominated by values near zero (that is the whole point of
 the permutation + linear-predictive stages), so LEB128 varints with zig-zag
 mapping for signed values give a compact pre-gzip byte stream: values in
 [-64, 63] cost a single byte.
+
+The array functions route whole columns through the batched numpy kernels
+in :mod:`repro.core.kernels`; the scalar implementations here remain the
+correctness reference and the fallback for values outside int64/uint64.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Sequence
 
+import numpy as np
+
+from repro.core import kernels
 from repro.errors import RecordFormatError
 
 _CONT = 0x80
 _PAYLOAD = 0x7F
+
+_INT64_MIN = -(1 << 63)
+_INT64_MAX = (1 << 63) - 1
 
 
 def zigzag_encode(value: int) -> int:
@@ -21,7 +31,7 @@ def zigzag_encode(value: int) -> int:
 
     0 -> 0, -1 -> 1, 1 -> 2, -2 -> 3, ...
     """
-    return (value << 1) ^ (value >> 63) if -(1 << 63) <= value < (1 << 63) else _zigzag_big(value)
+    return (value << 1) ^ (value >> 63) if _INT64_MIN <= value <= _INT64_MAX else _zigzag_big(value)
 
 
 def _zigzag_big(value: int) -> int:
@@ -69,7 +79,7 @@ def decode_uvarint(buf: bytes, offset: int) -> tuple[int, int]:
 
 def encode_svarint(value: int, out: bytearray) -> None:
     """Append a signed (zig-zag) varint to ``out``."""
-    encode_uvarint(_zigzag_big(value), out)
+    encode_uvarint(zigzag_encode(value), out)
 
 
 def decode_svarint(buf: bytes, offset: int) -> tuple[int, int]:
@@ -78,44 +88,135 @@ def decode_svarint(buf: bytes, offset: int) -> tuple[int, int]:
     return zigzag_decode(raw), pos
 
 
+# ---------------------------------------------------------------------------
+# array codecs (batched kernels + scalar reference/fallback)
+# ---------------------------------------------------------------------------
+
+
 def encode_uvarint_array(values: Iterable[int]) -> bytes:
     """Length-prefixed array of unsigned varints."""
-    vals = list(values)
+    vals = values if isinstance(values, (list, tuple, np.ndarray)) else list(values)
     out = bytearray()
     encode_uvarint(len(vals), out)
-    for v in vals:
-        encode_uvarint(v, out)
-    return bytes(out)
+    body = kernels.uvarint_encode_batch(vals)
+    if body is None:
+        return bytes(out) + _encode_uvarint_body_scalar(vals)
+    return bytes(out) + body
 
 
 def decode_uvarint_array(buf: bytes, offset: int) -> tuple[list[int], int]:
     """Inverse of :func:`encode_uvarint_array`; returns (values, next offset)."""
-    n, pos = decode_uvarint(buf, offset)
-    values = []
-    for _ in range(n):
-        v, pos = decode_uvarint(buf, pos)
-        values.append(v)
+    values, pos = decode_uvarint_array_np(buf, offset)
+    if isinstance(values, np.ndarray):
+        return values.tolist(), pos
     return values, pos
+
+
+def decode_uvarint_array_np(
+    buf: bytes, offset: int
+) -> tuple[np.ndarray | list[int], int]:
+    """Like :func:`decode_uvarint_array` but keeps the numpy array.
+
+    Hot-path variant for callers that feed the column straight into other
+    vectorized stages (LP decode). Returns a plain list only when the batch
+    kernel fell back (out-of-range or over-long varints).
+    """
+    n, pos = decode_uvarint(buf, offset)
+    decoded = kernels.uvarint_decode_batch(buf, pos, n)
+    if decoded is None:
+        return _decode_varints_scalar(buf, pos, n, signed=False)
+    return decoded
 
 
 def encode_svarint_array(values: Iterable[int]) -> bytes:
     """Length-prefixed array of signed varints."""
-    vals = list(values)
+    vals = values if isinstance(values, (list, tuple, np.ndarray)) else list(values)
     out = bytearray()
     encode_uvarint(len(vals), out)
-    for v in vals:
-        encode_svarint(v, out)
-    return bytes(out)
+    body = kernels.svarint_encode_batch(vals)
+    if body is None:
+        return bytes(out) + _encode_svarint_body_scalar(vals)
+    return bytes(out) + body
 
 
 def decode_svarint_array(buf: bytes, offset: int) -> tuple[list[int], int]:
     """Inverse of :func:`encode_svarint_array`."""
+    values, pos = decode_svarint_array_np(buf, offset)
+    if isinstance(values, np.ndarray):
+        return values.tolist(), pos
+    return values, pos
+
+
+def decode_svarint_array_np(
+    buf: bytes, offset: int
+) -> tuple[np.ndarray | list[int], int]:
+    """Like :func:`decode_svarint_array` but keeps the numpy array."""
     n, pos = decode_uvarint(buf, offset)
+    decoded = kernels.svarint_decode_batch(buf, pos, n)
+    if decoded is None:
+        return _decode_varints_scalar(buf, pos, n, signed=True)
+    return decoded
+
+
+# -- scalar reference implementations (fallback + kernel test oracle) -------
+
+
+def _encode_uvarint_body_scalar(vals: Sequence[int]) -> bytes:
+    out = bytearray()
+    for v in vals:
+        encode_uvarint(int(v), out)
+    return bytes(out)
+
+
+def _encode_svarint_body_scalar(vals: Sequence[int]) -> bytes:
+    out = bytearray()
+    for v in vals:
+        encode_svarint(int(v), out)
+    return bytes(out)
+
+
+def encode_uvarint_array_scalar(values: Iterable[int]) -> bytes:
+    """Scalar reference for :func:`encode_uvarint_array` (kernel oracle)."""
+    vals = list(values)
+    out = bytearray()
+    encode_uvarint(len(vals), out)
+    return bytes(out) + _encode_uvarint_body_scalar(vals)
+
+
+def encode_svarint_array_scalar(values: Iterable[int]) -> bytes:
+    """Scalar reference for :func:`encode_svarint_array` (kernel oracle)."""
+    vals = list(values)
+    out = bytearray()
+    encode_uvarint(len(vals), out)
+    return bytes(out) + _encode_svarint_body_scalar(vals)
+
+
+def _decode_varints_scalar(
+    buf: bytes, pos: int, n: int, signed: bool
+) -> tuple[list[int], int]:
+    decode = decode_svarint if signed else decode_uvarint
     values = []
     for _ in range(n):
-        v, pos = decode_svarint(buf, pos)
+        v, pos = decode(buf, pos)
         values.append(v)
     return values, pos
+
+
+def decode_uvarint_array_scalar(buf: bytes, offset: int) -> tuple[list[int], int]:
+    """Scalar reference for :func:`decode_uvarint_array` (kernel oracle)."""
+    n, pos = decode_uvarint(buf, offset)
+    return _decode_varints_scalar(buf, pos, n, signed=False)
+
+
+def decode_svarint_array_scalar(buf: bytes, offset: int) -> tuple[list[int], int]:
+    """Scalar reference for :func:`decode_svarint_array` (kernel oracle)."""
+    n, pos = decode_uvarint(buf, offset)
+    return _decode_varints_scalar(buf, pos, n, signed=True)
+
+
+# ---------------------------------------------------------------------------
+# size accounting
+# ---------------------------------------------------------------------------
 
 
 def uvarint_size(value: int) -> int:
@@ -131,10 +232,24 @@ def uvarint_size(value: int) -> int:
 
 def svarint_size(value: int) -> int:
     """Byte length :func:`encode_svarint` would produce for ``value``."""
-    return uvarint_size(_zigzag_big(value))
+    return uvarint_size(zigzag_encode(value))
 
 
 def array_payload_size(values: Sequence[int], signed: bool) -> int:
     """Total encoded size of a length-prefixed varint array."""
-    size_of = svarint_size if signed else uvarint_size
-    return uvarint_size(len(values)) + sum(size_of(v) for v in values)
+    header = uvarint_size(len(values))
+    if signed:
+        try:
+            x = np.asarray(values, dtype=np.int64)
+        except (OverflowError, ValueError):
+            return header + sum(svarint_size(v) for v in values)
+        return header + int(kernels.uvarint_sizes(kernels.zigzag_encode_array(x)).sum())
+    if isinstance(values, np.ndarray) and values.dtype.kind == "i":
+        if values.size and bool((values < 0).any()):
+            raise ValueError("uvarint requires value >= 0")
+    try:
+        v = np.asarray(values, dtype=np.uint64)
+    except (OverflowError, ValueError):
+        # negatives raise from uvarint_size; arbitrary precision falls back
+        return header + sum(uvarint_size(v) for v in values)
+    return header + int(kernels.uvarint_sizes(v).sum())

@@ -2,6 +2,10 @@
 
 from repro.replay.async_queue import FluidQueueModel, SPSCQueue
 from repro.replay.chunk_store import RecordArchive, bytes_per_event, summarize
+from repro.replay.parallel_encoder import (
+    ParallelChunkEncoder,
+    encode_chunk_sequence_parallel,
+)
 from repro.replay.cost_model import (
     PerRankRecordingState,
     RecordingCostModel,
@@ -48,6 +52,8 @@ __all__ = [
     "ReplaySession",
     "RunResult",
     "SPSCQueue",
+    "ParallelChunkEncoder",
+    "encode_chunk_sequence_parallel",
     "assert_replay_matches",
     "bytes_per_event",
     "cdc_cost_model",

@@ -1,0 +1,133 @@
+"""Parallel multi-chunk CDC encoding — the pool behind the SPSC consumer.
+
+The paper's asynchronous recording architecture (Figure 11) drains MF
+events through a bounded SPSC queue into one dedicated CDC thread. That
+consumer's work — CDC-encoding flushed record-table chunks — is almost
+embarrassingly parallel: chunks of *different* ``(rank, callsite)`` streams
+share nothing, and even consecutive chunks of the *same* stream only couple
+through the per-sender clock ceilings used to mark boundary exceptions
+(DESIGN.md §5.2).
+
+The coupling is cheap to break: the ceilings after chunk ``k`` are the
+running max of the chunks' epoch lines, and an epoch line is computable
+from the flushed table alone (``EpochLine.from_events``) without encoding
+anything. So the producer advances the ceilings synchronously at flush time
+— an O(events) dict pass — snapshots them into the submitted task, and
+every chunk encode becomes independent. Results drain in submission order,
+so the archive layout (and therefore the serialized bytes) is identical to
+the sequential path, chunk for chunk.
+
+Workers are threads, not processes: the heavy stages (reference-order sort,
+permutation stats, LP + varint batch kernels) are numpy operations that
+release the GIL, and chunk objects never cross a pickle boundary.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Mapping, Sequence
+
+from repro.core.epoch import EpochLine
+from repro.core.pipeline import CDCChunk, encode_chunk
+from repro.core.record_table import RecordTable
+
+__all__ = [
+    "ParallelChunkEncoder",
+    "advance_ceilings",
+    "encode_chunk_sequence_parallel",
+]
+
+#: Default worker count: chunk encoding is numpy-bound, a small pool wins.
+DEFAULT_WORKERS = 4
+
+
+class ParallelChunkEncoder:
+    """Encode independent chunk tables concurrently, preserving order.
+
+    Usage mirrors the recorder's flush loop::
+
+        with ParallelChunkEncoder(workers=4) as enc:
+            for table in tables:            # producer side (SPSC consumer)
+                enc.submit(table, replay_assist=True, prior_ceilings=ceils)
+                ...advance ceils from EpochLine.from_events(table.matched)...
+            chunks = enc.drain()            # submission order
+
+    ``prior_ceilings`` is snapshotted at submit time, so the caller may keep
+    mutating its running dict. ``drain`` re-raises the first worker
+    exception, if any.
+    """
+
+    def __init__(self, workers: int = DEFAULT_WORKERS) -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="cdc-encode"
+        )
+        self._pending: list[Future[CDCChunk]] = []
+
+    def submit(
+        self,
+        table: RecordTable,
+        replay_assist: bool = False,
+        prior_ceilings: Mapping[int, int] | None = None,
+    ) -> Future[CDCChunk]:
+        """Queue one table for encoding; ceilings are copied immediately."""
+        snapshot = dict(prior_ceilings) if prior_ceilings else None
+        future = self._pool.submit(
+            encode_chunk, table, replay_assist=replay_assist, prior_ceilings=snapshot
+        )
+        self._pending.append(future)
+        return future
+
+    def drain(self) -> list[CDCChunk]:
+        """Collect all completed chunks in submission order."""
+        pending, self._pending = self._pending, []
+        return [f.result() for f in pending]
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelChunkEncoder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def advance_ceilings(ceilings: dict[int, int], table: RecordTable) -> None:
+    """Fold a table's epoch line into the running per-sender ceilings.
+
+    This is the synchronous producer-side step that decouples consecutive
+    chunks of one callsite (see module docstring).
+    """
+    for sender, ceiling in EpochLine.from_events(table.matched).max_clock_by_rank.items():
+        if ceilings.get(sender, -1) < ceiling:
+            ceilings[sender] = ceiling
+
+
+def encode_chunk_sequence_parallel(
+    tables: Sequence[RecordTable],
+    replay_assist: bool = False,
+    workers: int = DEFAULT_WORKERS,
+) -> list[CDCChunk]:
+    """Parallel equivalent of :func:`repro.core.pipeline.encode_chunk_sequence`.
+
+    Accepts tables of *any* mix of callsites (unlike the sequential helper,
+    which requires a single callsite): ceilings are tracked per callsite and
+    results come back in the input order, byte-identical per chunk to the
+    sequential encoding.
+    """
+    with ParallelChunkEncoder(workers=workers) as encoder:
+        ceilings_by_callsite: dict[str, dict[int, int]] = {}
+        for table in tables:
+            ceilings = ceilings_by_callsite.setdefault(table.callsite, {})
+            encoder.submit(
+                table, replay_assist=replay_assist, prior_ceilings=ceilings
+            )
+            advance_ceilings(ceilings, table)
+        return encoder.drain()

@@ -29,6 +29,7 @@ from repro.core.formats import serialize_raw_rows
 from repro.core.pipeline import encode_chunk
 from repro.core.record_table import RecordTableBuilder
 from repro.replay.chunk_store import RecordArchive
+from repro.replay.parallel_encoder import ParallelChunkEncoder, advance_ceilings
 from repro.replay.cost_model import (
     PerRankRecordingState,
     RecordingCostModel,
@@ -71,6 +72,7 @@ class RecordingController(MFController):
         cost_model: RecordingCostModel | None = None,
         keep_outcomes: bool = True,
         replay_assist: bool = True,
+        parallel_workers: int = 0,
     ) -> None:
         super().__init__()
         self.chunk_events = chunk_events
@@ -83,6 +85,17 @@ class RecordingController(MFController):
             for r in range(nprocs)
         }
         self._pending_events: dict[int, int] = {}
+        #: opt-in parallel chunk encoding (Section 4.2 consumer fan-out):
+        #: flushes submit to a thread pool and the archive fills at finalize,
+        #: in flush order — chunk-for-chunk identical to the serial path.
+        if parallel_workers < 0:
+            raise ValueError(f"parallel_workers must be >= 0, got {parallel_workers}")
+        self._encoder = (
+            ParallelChunkEncoder(workers=parallel_workers)
+            if parallel_workers > 0
+            else None
+        )
+        self._inflight: list[int] = []  # rank of each submitted flush
 
     # -- MFController hooks ---------------------------------------------------
 
@@ -119,12 +132,29 @@ class RecordingController(MFController):
             for builder in state.builders.values():
                 if builder.dirty:
                     self._flush(rank, builder)
+        if self._encoder is not None:
+            chunks = self._encoder.drain()
+            for rank, chunk in zip(self._inflight, chunks):
+                self.archive.append(rank, chunk)
+            self._inflight.clear()
+            self._encoder.close()
 
     def _flush(self, rank: int, builder: RecordTableBuilder) -> None:
         table = builder.flush()
         if not (table.num_events or table.unmatched_runs):
             return
         ceilings = self.ranks[rank].ceilings.setdefault(table.callsite, {})
+        if self._encoder is not None:
+            # parallel path: snapshot the ceilings into the task, advance
+            # them synchronously from the table's epoch line (cheap), and
+            # let the pool encode; the archive fills at finalize in flush
+            # order, so layout matches the serial path exactly.
+            self._encoder.submit(
+                table, replay_assist=self.replay_assist, prior_ceilings=ceilings
+            )
+            advance_ceilings(ceilings, table)
+            self._inflight.append(rank)
+            return
         chunk = encode_chunk(
             table, replay_assist=self.replay_assist, prior_ceilings=ceilings
         )
@@ -169,6 +199,7 @@ class GzipRecordingController(RecordingController):
         cost_model: RecordingCostModel | None = None,
         keep_outcomes: bool = True,
         replay_assist: bool = True,
+        parallel_workers: int = 0,
     ) -> None:
         super().__init__(
             nprocs,
@@ -176,6 +207,7 @@ class GzipRecordingController(RecordingController):
             cost_model=cost_model if cost_model is not None else gzip_cost_model(),
             keep_outcomes=True,  # the raw format needs the full stream
             replay_assist=replay_assist,
+            parallel_workers=parallel_workers,
         )
 
     def storage_bytes(self, rank: int) -> int:

@@ -122,6 +122,7 @@ class RecordSession(_Session):
         keep_outcomes: bool = True,
         gzip_baseline: bool = False,
         replay_assist: bool = True,
+        parallel_workers: int = 0,
         latency: LatencyModel | None = None,
         engine_kwargs: Mapping[str, Any] | None = None,
     ) -> None:
@@ -131,6 +132,7 @@ class RecordSession(_Session):
         self.keep_outcomes = keep_outcomes
         self.gzip_baseline = gzip_baseline
         self.replay_assist = replay_assist
+        self.parallel_workers = parallel_workers
 
     def run(self) -> RunResult:
         cls = GzipRecordingController if self.gzip_baseline else RecordingController
@@ -140,6 +142,7 @@ class RecordSession(_Session):
             cost_model=self.cost_model,
             keep_outcomes=self.keep_outcomes,
             replay_assist=self.replay_assist,
+            parallel_workers=self.parallel_workers,
         )
         result = self._run(controller, controller.mode)
         result.archive = controller.archive

@@ -1,0 +1,267 @@
+"""Batch kernels vs scalar reference: byte identity and losslessness.
+
+The contract of :mod:`repro.core.kernels` is that the batched numpy paths
+are *indistinguishable* from the scalar implementations — identical bytes
+out of the encoders, identical values out of the decoders, graceful
+fallback outside int64/uint64. Hypothesis drives the distributions the
+format actually sees (zeros, small signed residuals, full-range clocks)
+plus the adversarial ones (int64 boundaries, arbitrary-precision ints).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core import lp_encoding
+from repro.core import varint
+from repro.core.varint import (
+    decode_svarint_array,
+    decode_svarint_array_scalar,
+    decode_uvarint_array,
+    decode_uvarint_array_scalar,
+    encode_svarint_array,
+    encode_svarint_array_scalar,
+    encode_uvarint_array,
+    encode_uvarint_array_scalar,
+    svarint_size,
+    uvarint_size,
+    zigzag_decode,
+    zigzag_encode,
+    _zigzag_big,
+)
+
+# distributions matching what the chunk format sees: LP residuals cluster
+# around zero, clocks span the full positive range, plus >2-byte varints
+small_signed = st.integers(min_value=-64, max_value=63)
+full_signed = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+full_unsigned = st.integers(min_value=0, max_value=2**64 - 1)
+big_signed = st.integers(min_value=-(2**80), max_value=2**80)
+
+signed_lists = st.one_of(
+    st.lists(small_signed, max_size=300),
+    st.lists(full_signed, max_size=100),
+    st.lists(st.one_of(small_signed, full_signed, big_signed), max_size=60),
+)
+unsigned_lists = st.one_of(
+    st.lists(st.integers(min_value=0, max_value=200), max_size=300),
+    st.lists(full_unsigned, max_size=100),
+    st.lists(st.integers(min_value=0, max_value=2**80), max_size=60),
+)
+
+
+class TestZigzag:
+    @given(full_signed)
+    def test_fast_path_matches_big_within_int64(self, value):
+        assert zigzag_encode(value) == _zigzag_big(value)
+
+    def test_boundary_consistency(self):
+        """Satellite check: fast path and arbitrary-precision fallback agree
+        at and around the int64 boundary, and the fallback continues the
+        same mapping beyond it."""
+        boundary = [
+            -(1 << 63) - 1, -(1 << 63), -(1 << 63) + 1,
+            (1 << 63) - 2, (1 << 63) - 1, 1 << 63,
+            -(1 << 64), 1 << 64, 0, -1, 1,
+        ]
+        for v in boundary:
+            assert zigzag_decode(zigzag_encode(v)) == v
+            if -(1 << 63) <= v < (1 << 63):
+                assert zigzag_encode(v) == _zigzag_big(v)
+        # the mapping is a bijection onto [0, 2n): order of |v| preserved
+        encoded = sorted(zigzag_encode(v) for v in boundary)
+        assert len(set(encoded)) == len(boundary)
+
+    @given(st.lists(full_signed, max_size=200))
+    def test_array_matches_scalar(self, values):
+        x = np.array(values, dtype=np.int64)
+        z = kernels.zigzag_encode_array(x)
+        assert z.tolist() == [zigzag_encode(v) for v in values]
+        assert kernels.zigzag_decode_array(z).tolist() == values
+
+
+class TestSvarintFastPath:
+    """encode_svarint / svarint_size route through the int64 fast path."""
+
+    @given(full_signed)
+    def test_scalar_svarint_round_trip(self, value):
+        out = bytearray()
+        varint.encode_svarint(value, out)
+        decoded, pos = varint.decode_svarint(bytes(out), 0)
+        assert decoded == value and pos == len(out)
+        assert svarint_size(value) == len(out)
+
+    @given(big_signed)
+    def test_big_values_still_exact(self, value):
+        out = bytearray()
+        varint.encode_svarint(value, out)
+        assert varint.decode_svarint(bytes(out), 0)[0] == value
+
+
+class TestBatchByteIdentity:
+    @given(unsigned_lists)
+    @settings(max_examples=200)
+    def test_uvarint_encode_identical(self, values):
+        assert encode_uvarint_array(values) == encode_uvarint_array_scalar(values)
+
+    @given(signed_lists)
+    @settings(max_examples=200)
+    def test_svarint_encode_identical(self, values):
+        assert encode_svarint_array(values) == encode_svarint_array_scalar(values)
+
+    @given(unsigned_lists)
+    @settings(max_examples=200)
+    def test_uvarint_round_trip(self, values):
+        buf = encode_uvarint_array(values)
+        batch, pos_b = decode_uvarint_array(buf, 0)
+        scalar, pos_s = decode_uvarint_array_scalar(buf, 0)
+        assert batch == scalar == values
+        assert pos_b == pos_s == len(buf)
+
+    @given(signed_lists)
+    @settings(max_examples=200)
+    def test_svarint_round_trip(self, values):
+        buf = encode_svarint_array(values)
+        batch, pos_b = decode_svarint_array(buf, 0)
+        scalar, pos_s = decode_svarint_array_scalar(buf, 0)
+        assert batch == scalar == values
+        assert pos_b == pos_s == len(buf)
+
+    @given(st.lists(full_unsigned, max_size=50), st.binary(max_size=20))
+    def test_decode_at_offset_with_trailing_bytes(self, values, suffix):
+        prefix = b"\xff\x01"  # a 2-byte varint before the array
+        buf = prefix + encode_uvarint_array(values) + suffix
+        decoded, pos = decode_uvarint_array(buf, len(prefix))
+        assert decoded == values
+        assert pos == len(buf) - len(suffix)
+
+    def test_ndarray_input_matches_list_input(self):
+        values = [0, 1, -1, 300, -300, 2**40, -(2**40)]
+        arr = np.array(values, dtype=np.int64)
+        assert encode_svarint_array(arr) == encode_svarint_array(values)
+        uvals = [0, 5, 127, 128, 2**63, 2**64 - 1]
+        uarr = np.array(uvals, dtype=np.uint64)
+        assert encode_uvarint_array(uarr) == encode_uvarint_array(uvals)
+
+    def test_negative_raises_like_scalar(self):
+        with pytest.raises(ValueError, match="uvarint requires value >= 0"):
+            encode_uvarint_array([1, 2, -3])
+        with pytest.raises(ValueError, match="uvarint requires value >= 0"):
+            encode_uvarint_array(np.array([1, 2, -3], dtype=np.int64))
+
+    def test_truncated_raises(self):
+        from repro.errors import RecordFormatError
+
+        buf = encode_uvarint_array([1, 300, 70000])
+        for cut in range(1, len(buf)):
+            with pytest.raises(RecordFormatError):
+                decode_uvarint_array(buf[:cut], 0)
+
+    @given(st.lists(full_unsigned, max_size=120))
+    def test_size_accounting_matches_bytes(self, values):
+        assert varint.array_payload_size(values, signed=False) == len(
+            encode_uvarint_array(values)
+        )
+
+    @given(st.lists(st.one_of(full_signed, big_signed), max_size=120))
+    def test_signed_size_accounting_matches_bytes(self, values):
+        assert varint.array_payload_size(values, signed=True) == len(
+            encode_svarint_array(values)
+        )
+
+
+class TestLPAuto:
+    @given(st.lists(st.integers(min_value=-(2**48), max_value=2**48), max_size=200))
+    def test_lp_auto_matches_scalar(self, values):
+        enc = lp_encoding.lp_encode_auto(values)
+        as_list = enc.tolist() if isinstance(enc, np.ndarray) else enc
+        assert as_list == lp_encoding.lp_encode(values)
+        dec = lp_encoding.lp_decode_auto(enc)
+        as_list = dec.tolist() if isinstance(dec, np.ndarray) else dec
+        assert as_list == values
+
+    @given(st.lists(big_signed, min_size=1, max_size=30))
+    def test_lp_auto_exact_beyond_int64(self, values):
+        enc = lp_encoding.lp_encode_auto(values)
+        enc_list = enc.tolist() if isinstance(enc, np.ndarray) else enc
+        assert enc_list == lp_encoding.lp_encode(values)
+        dec = lp_encoding.lp_decode_auto(enc_list)
+        dec_list = dec.tolist() if isinstance(dec, np.ndarray) else dec
+        assert dec_list == values
+
+    def test_lp_auto_falls_back_beyond_int64(self):
+        values = [2**70, 2**70 + 3, 5, -(2**70)]
+        enc = lp_encoding.lp_encode_auto(values)
+        assert isinstance(enc, list)  # scalar fallback engaged
+        assert enc == lp_encoding.lp_encode(values)
+        assert lp_encoding.lp_decode_auto(enc) == values
+
+    def test_lp_decode_overflow_guard(self):
+        # residuals whose reconstruction crosses int64: the float64 shadow
+        # must reroute to the exact scalar path instead of wrapping
+        errors = [2**62, 2**62, 2**62]
+        decoded = lp_encoding.lp_decode_auto(errors)
+        assert decoded == lp_encoding.lp_decode(errors)
+        assert decoded[-1] == 3 * 2**62 + 2 * 2**62 + 2**62  # > 2**63
+
+
+class TestForcedScalarEquivalence:
+    """End-to-end: forcing every kernel fallback must not change one byte."""
+
+    def _force_scalar(self, monkeypatch):
+        monkeypatch.setattr(kernels, "uvarint_encode_batch", lambda v: None)
+        monkeypatch.setattr(kernels, "svarint_encode_batch", lambda v: None)
+        monkeypatch.setattr(kernels, "uvarint_decode_batch", lambda *a: None)
+        monkeypatch.setattr(kernels, "svarint_decode_batch", lambda *a: None)
+        import repro.core.formats as formats
+        import repro.core.pipeline as pipeline
+
+        monkeypatch.setattr(formats, "lp_encode_auto", lp_encoding.lp_encode)
+        monkeypatch.setattr(formats, "lp_decode_auto", lp_encoding.lp_decode)
+        monkeypatch.setattr(pipeline, "_encode_matched_batch", lambda *a: None)
+
+    def test_compress_bytes_identical(self, monkeypatch):
+        import random
+
+        from repro.core import ALL_METHODS, compress
+        from repro.core.events import MFKind, MFOutcome, ReceiveEvent
+
+        rng = random.Random(5)
+        clocks = {s: 0 for s in range(6)}
+        outs = []
+        for i in range(2000):
+            if rng.random() < 0.15:
+                outs.append(MFOutcome("a", MFKind.TEST, ()))
+                continue
+            s = rng.randrange(6)
+            clocks[s] += rng.randrange(1, 4)
+            outs.append(
+                MFOutcome(
+                    f"cs{i % 2}",
+                    MFKind.TEST,
+                    (ReceiveEvent(s, clocks[s] * 6 + s),),
+                )
+            )
+        fast = {m: compress(outs, m, 256) for m in ALL_METHODS}
+        self._force_scalar(monkeypatch)
+        for m in ALL_METHODS:
+            assert compress(outs, m, 256) == fast[m], m
+
+    def test_deserialize_scalar_path_round_trips(self, monkeypatch):
+        from repro.core import build_tables, encode_chunk
+        from repro.core.events import MFKind, MFOutcome, ReceiveEvent
+        from repro.core.formats import deserialize_cdc_chunks, serialize_cdc_chunks
+
+        outs = [
+            MFOutcome("x", MFKind.TEST, (ReceiveEvent(r % 3, 10 * r + 7),))
+            for r in range(50)
+        ]
+        tables = build_tables(outs)
+        chunks = [encode_chunk(t, replay_assist=True) for ts in tables.values() for t in ts]
+        blob = serialize_cdc_chunks(chunks)
+        fast = deserialize_cdc_chunks(blob)
+        self._force_scalar(monkeypatch)
+        assert deserialize_cdc_chunks(blob) == fast == chunks

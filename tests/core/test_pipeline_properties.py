@@ -103,6 +103,23 @@ class TestFullPipeline:
         if report.num_receive_events >= 20:
             assert report.sizes[Method.RAW] >= report.sizes[Method.CDC_RE]
 
+    @given(outcome_streams(), st.booleans())
+    @settings(max_examples=100, deadline=None)
+    def test_batch_matched_stats_equal_scalar(self, outcomes, with_ceilings):
+        from repro.core import pipeline
+
+        for chunk_list in build_tables(outcomes, chunk_events=12).values():
+            ceilings: dict[int, int] = {}
+            for table in chunk_list:
+                prior = dict(ceilings) if with_ceilings else None
+                batch = pipeline._encode_matched_batch(table.matched, prior)
+                scalar = pipeline._encode_matched_scalar(table.matched, prior)
+                assert batch is not None
+                assert batch == scalar
+                for ev in table.matched:
+                    if ev.clock > ceilings.get(ev.rank, -1):
+                        ceilings[ev.rank] = ev.clock
+
     @given(outcome_streams())
     @settings(max_examples=80, deadline=None)
     def test_epoch_lines_cover_all_members(self, outcomes):

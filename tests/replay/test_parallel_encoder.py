@@ -1,0 +1,127 @@
+"""The parallel chunk-encode stage must be invisible in the output.
+
+Chunks encoded by the pool are required to be identical — field for field,
+and therefore byte for byte after serialization — to the sequential path,
+with the archive filled in the same order. Replay from a parallel-encoded
+archive must reproduce the run exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_tables, encode_chunk_sequence
+from repro.core.formats import serialize_cdc_chunks
+from repro.core.record_table import RecordTable
+from repro.core.events import ReceiveEvent
+from repro.replay import (
+    ParallelChunkEncoder,
+    RecordSession,
+    ReplaySession,
+    assert_replay_matches,
+    encode_chunk_sequence_parallel,
+)
+from repro.workloads import mcb
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cfg = mcb.MCBConfig(nprocs=6, particles_per_rank=30, seed=13)
+    serial = RecordSession(
+        mcb.build_program(cfg), nprocs=6, network_seed=2, chunk_events=48
+    ).run()
+    parallel = RecordSession(
+        mcb.build_program(cfg),
+        nprocs=6,
+        network_seed=2,
+        chunk_events=48,
+        parallel_workers=4,
+    ).run()
+    return cfg, serial, parallel
+
+
+class TestRecorderParity:
+    def test_archives_identical(self, runs):
+        _, serial, parallel = runs
+        for rank in range(serial.nprocs):
+            assert serial.archive.chunks(rank) == parallel.archive.chunks(rank)
+
+    def test_serialized_bytes_identical(self, runs):
+        _, serial, parallel = runs
+        for rank in range(serial.nprocs):
+            assert serialize_cdc_chunks(
+                serial.archive.chunks(rank)
+            ) == serialize_cdc_chunks(parallel.archive.chunks(rank))
+
+    def test_replay_from_parallel_archive(self, runs):
+        cfg, _, parallel = runs
+        replayed = ReplaySession(
+            mcb.build_program(cfg), parallel.archive, network_seed=77
+        ).run()
+        assert_replay_matches(parallel, replayed)
+
+
+class TestSequenceHelper:
+    def test_matches_sequential_helper_per_callsite(self, runs):
+        _, serial, _ = runs
+        outcomes = serial.outcomes[1]
+        tables = [t for ts in build_tables(outcomes, 16).values() for t in ts]
+        by_callsite: dict[str, list[RecordTable]] = {}
+        for t in tables:
+            by_callsite.setdefault(t.callsite, []).append(t)
+        expected = {
+            cs: encode_chunk_sequence(ts, replay_assist=True)
+            for cs, ts in by_callsite.items()
+        }
+        got: dict[str, list] = {}
+        for chunk in encode_chunk_sequence_parallel(
+            tables, replay_assist=True, workers=3
+        ):
+            got.setdefault(chunk.callsite, []).append(chunk)
+        assert got == expected
+
+    def test_input_order_preserved(self):
+        tables = [
+            RecordTable(
+                f"cs{i % 3}",
+                (ReceiveEvent(0, 10 * i + 1), ReceiveEvent(1, 10 * i + 2)),
+                (),
+                (),
+            )
+            for i in range(12)
+        ]
+        chunks = encode_chunk_sequence_parallel(tables, workers=4)
+        assert [c.callsite for c in chunks] == [t.callsite for t in tables]
+        assert [c.num_events for c in chunks] == [2] * 12
+
+
+class TestParallelChunkEncoder:
+    def test_ceilings_snapshotted_at_submit(self):
+        table = RecordTable("a", (ReceiveEvent(0, 5),), (), ())
+        ceilings = {0: 3}
+        with ParallelChunkEncoder(workers=2) as enc:
+            enc.submit(table, prior_ceilings=ceilings)
+            ceilings[0] = 99  # mutating after submit must not matter
+            (chunk,) = enc.drain()
+        # clock 5 > snapshot ceiling 3: not a boundary exception
+        assert chunk.boundary_exceptions == ()
+
+    def test_worker_exception_propagates_on_drain(self):
+        bad = RecordTable("a", (ReceiveEvent(0, 1), ReceiveEvent(0, 1)), (), ())
+        with ParallelChunkEncoder(workers=2) as enc:
+            enc.submit(bad)
+            with pytest.raises(Exception):
+                enc.drain()
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            ParallelChunkEncoder(workers=0)
+
+    def test_drain_clears_pending(self):
+        table = RecordTable("a", (ReceiveEvent(0, 5),), (), ())
+        with ParallelChunkEncoder(workers=1) as enc:
+            enc.submit(table)
+            assert enc.pending == 1
+            enc.drain()
+            assert enc.pending == 0
+            assert enc.drain() == []
