@@ -12,11 +12,8 @@ Not figures from the paper, but quantifications of its design arguments:
 import random
 import zlib
 
-import pytest
-
 from repro.clocks import VectorClock
 from repro.core import Method, compare_methods
-from repro.core.events import MFKind, MFOutcome, ReceiveEvent
 from repro.core.lp_encoding import lp_encode
 from repro.core.varint import encode_svarint_array
 from repro.replay import RecordSession

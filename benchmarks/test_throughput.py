@@ -13,7 +13,6 @@ import pytest
 from repro.core import build_tables, compress, encode_chunk_sequence, Method
 from repro.core.events import MFKind, MFOutcome, ReceiveEvent
 from repro.replay import (
-    BaselineSession,
     FluidQueueModel,
     RecordSession,
     encode_chunk_sequence_parallel,

@@ -14,7 +14,7 @@ count, which is why the paper rejects it for the record itself.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 from repro.clocks.vector import total_order_key
 from repro.core.permutation import encode_permutation, observed_as_reference_indices

@@ -10,7 +10,7 @@ tables, unmatched-heavy polls in the unmatched runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.core.lp_encoding import lp_encode_auto

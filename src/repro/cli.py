@@ -22,6 +22,7 @@ from typing import Sequence
 from repro.analysis import human_bytes, render_table
 from repro.core import ALL_METHODS, aggregate_reports, compare_methods
 from repro.replay.chunk_store import RecordArchive, summarize
+from repro.replay.durable_store import load_archive, save_archive
 from repro.replay.session import (
     RecordSession,
     ReplaySession,
@@ -59,24 +60,24 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
 def cmd_record(args: argparse.Namespace) -> int:
     params = _parse_params(args.param)
     program, config = make_workload(args.workload, args.nprocs, **params)
+    # the archive streams to disk as durable CRC'd frames while the run is
+    # in flight; the manifest commits only when recording finishes cleanly.
     session = RecordSession(
         program,
         nprocs=args.nprocs,
         network_seed=args.network_seed,
         chunk_events=args.chunk_events,
         replay_assist=not args.no_assist,
-    )
-    result = session.run()
-    archive = result.archive
-    archive.meta.update(
-        {
+        store_dir=args.out,
+        meta={
             "workload": args.workload,
             "nprocs": args.nprocs,
             "network_seed": args.network_seed,
             "params": params,
-        }
+        },
     )
-    archive.save(args.out)
+    result = session.run()
+    archive = result.archive
     if args.trace_out:
         from repro.core.trace_io import save_trace
 
@@ -92,7 +93,10 @@ def cmd_record(args: argparse.Namespace) -> int:
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
-    archive = RecordArchive.load(args.record)
+    mode = "salvage" if args.salvage else "strict"
+    archive, recovery = load_archive(args.record, mode=mode)
+    if not recovery.clean:
+        print(recovery.render())
     meta = archive.meta
     if "workload" not in meta:
         raise SystemExit(
@@ -101,11 +105,24 @@ def cmd_replay(args: argparse.Namespace) -> int:
     program, _ = make_workload(
         str(meta["workload"]), int(meta["nprocs"]), **dict(meta.get("params", {}))
     )
-    result = ReplaySession(program, archive, network_seed=args.network_seed).run()
+    session = ReplaySession(
+        program, archive, network_seed=args.network_seed, mode=mode
+    )
+    session.recovery = recovery
+    result = session.run()
     print(
         f"replayed {result.total_receive_events():,} receive events on "
         f"{archive.nprocs} ranks under network seed {args.network_seed}"
     )
+    if result.truncated_at is not None:
+        rank, callsite = result.truncated_at
+        delivered = result.controller.delivered_summary()
+        got, total = delivered.get((rank, callsite), (0, 0))
+        print(
+            f"record ends early: rank {rank} callsite {callsite!r} after "
+            f"{got}/{total} recovered events (salvaged prefix replayed)"
+        )
+        return 0
     if args.verify:
         reference = RecordSession(
             program,
@@ -117,6 +134,37 @@ def cmd_replay(args: argparse.Namespace) -> int:
     for rank in sorted(result.app_results)[: args.show_results]:
         print(f"  rank {rank}: {result.app_results[rank]!r}")
     return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """Integrity-check an archive: frame CRCs, tails, manifest counts."""
+    try:
+        archive, report = load_archive(args.record, mode="salvage")
+    except Exception as exc:  # unreadable manifest, not an archive, ...
+        print(f"verify failed: {exc}")
+        return 1
+    print(report.render())
+    if not report.clean:
+        return 1
+    print(
+        f"  {archive.total_events():,} receive events across "
+        f"{archive.nprocs} ranks — archive OK"
+    )
+    return 0
+
+
+def cmd_salvage(args: argparse.Namespace) -> int:
+    """Recover the longest valid chunk prefix of every rank."""
+    archive, report = load_archive(args.record, mode="salvage")
+    print(report.render())
+    if args.out:
+        save_archive(archive, args.out)
+        kept = sum(len(archive.chunks(r)) for r in range(archive.nprocs))
+        print(
+            f"salvaged archive written to {args.out} "
+            f"({kept} chunk(s), {report.total_bytes_dropped()} B dropped)"
+        )
+    return 0 if report.clean else 2
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
@@ -265,7 +313,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="re-record under the original seed and compare outcome streams",
     )
     p_replay.add_argument("--show-results", type=int, default=3, metavar="N")
+    p_replay.add_argument(
+        "--salvage", action="store_true",
+        help="tolerate archive corruption: replay the longest recoverable "
+             "epoch-aligned prefix and report where the record ends",
+    )
     p_replay.set_defaults(func=cmd_replay)
+
+    p_verify = sub.add_parser(
+        "verify", help="integrity-check a recorded archive (CRCs, tails)"
+    )
+    p_verify.add_argument("--record", required=True, help="archive directory")
+    p_verify.set_defaults(func=cmd_verify)
+
+    p_salvage = sub.add_parser(
+        "salvage", help="recover the valid chunk prefix of a damaged archive"
+    )
+    p_salvage.add_argument("--record", required=True, help="archive directory")
+    p_salvage.add_argument(
+        "--out", help="write the recovered archive here (clean v2 format)"
+    )
+    p_salvage.set_defaults(func=cmd_salvage)
 
     p_inspect = sub.add_parser("inspect", help="summarize a recorded archive")
     p_inspect.add_argument("--record", required=True)

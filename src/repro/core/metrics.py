@@ -63,7 +63,7 @@ class ValueCountBreakdown:
 
 def value_count_breakdown(outcomes: Sequence[MFOutcome]) -> ValueCountBreakdown:
     """Compute the worked-example accounting for any outcome stream."""
-    from repro.core.compression import MERGED_CALLSITE, _merge_callsites
+    from repro.core.compression import _merge_callsites
     from repro.core.pipeline import encode_chunk
     from repro.core.record_table import build_tables
 

@@ -78,7 +78,12 @@ def load_trace(fh: TextIO) -> dict[int, list[MFOutcome]]:
             outcome = MFOutcome(str(record["callsite"]), kind, matched)
         except (json.JSONDecodeError, KeyError, ValueError, TypeError) as exc:
             raise RecordFormatError(f"bad trace line {lineno}: {exc}") from exc
-        outcomes.setdefault(rank, []).append(outcome)
+        if not 0 <= rank < nprocs:
+            raise RecordFormatError(
+                f"bad trace line {lineno}: rank {rank} out of range for "
+                f"nprocs {nprocs}"
+            )
+        outcomes[rank].append(outcome)
     return outcomes
 
 

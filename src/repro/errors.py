@@ -45,6 +45,39 @@ class RecordFormatError(DecodingError):
     """A serialized chunk violates the CDC binary format."""
 
 
+class ArchiveCorruptionError(RecordFormatError):
+    """A stored record archive failed an integrity check.
+
+    Raised by the strict loading path of
+    :mod:`repro.replay.durable_store` when a rank file has a truncated
+    tail (crash mid-flush), a frame whose CRC does not match its payload,
+    or a frame that decodes to garbage. Carries enough context to point a
+    user at the exact failure: the rank, the frame index within that
+    rank's file, and the epoch context of the last chunk that decoded
+    cleanly (the salvageable prefix boundary).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        frame_index: int,
+        kind: str,
+        path: str = "",
+        epoch_context: str = "",
+    ) -> None:
+        self.rank = rank
+        self.frame_index = frame_index
+        self.kind = kind
+        self.path = path
+        self.epoch_context = epoch_context
+        msg = f"archive corrupt at rank {rank}, frame {frame_index}: {kind}"
+        if path:
+            msg += f" ({path})"
+        if epoch_context:
+            msg += f"; last good chunk: {epoch_context}"
+        super().__init__(msg)
+
+
 class ReplayDivergence(ReproError):
     """The replayed execution diverged from the recorded one.
 

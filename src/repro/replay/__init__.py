@@ -2,6 +2,14 @@
 
 from repro.replay.async_queue import FluidQueueModel, SPSCQueue
 from repro.replay.chunk_store import RecordArchive, bytes_per_event, summarize
+from repro.replay.durable_store import (
+    DurableArchiveWriter,
+    RankRecovery,
+    RecoveryReport,
+    RetryPolicy,
+    load_archive,
+    save_archive,
+)
 from repro.replay.parallel_encoder import (
     ParallelChunkEncoder,
     encode_chunk_sequence_parallel,
@@ -41,7 +49,13 @@ __all__ = [
     "replay_report",
     "DEFAULT_CHUNK_EVENTS",
     "DeliveryMode",
+    "DurableArchiveWriter",
     "FluidQueueModel",
+    "RankRecovery",
+    "RecoveryReport",
+    "RetryPolicy",
+    "load_archive",
+    "save_archive",
     "GzipRecordingController",
     "PerRankRecordingState",
     "RecordArchive",

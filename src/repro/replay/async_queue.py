@@ -21,7 +21,7 @@ Two artifacts here:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import SimulationError

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, Mapping
 
 from repro.core.compression import ZLIB_LEVEL
-from repro.core.formats import deserialize_cdc_chunks, serialize_cdc_chunks
+from repro.core.formats import serialize_cdc_chunks
 from repro.core.pipeline import CDCChunk
 from repro.errors import RecordFormatError
 
@@ -30,11 +30,23 @@ class RecordArchive:
     chunks_by_rank: dict[int, list[CDCChunk]] = field(default_factory=dict)
     #: metadata preserved for replay bookkeeping.
     meta: dict[str, object] = field(default_factory=dict)
+    #: memoized per-rank compressed sizes; invalidated by :meth:`append`.
+    _size_cache: dict[int, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def append(self, rank: int, chunk: CDCChunk) -> None:
         if not 0 <= rank < self.nprocs:
             raise RecordFormatError(f"rank {rank} out of range")
         self.chunks_by_rank.setdefault(rank, []).append(chunk)
+        self._size_cache.pop(rank, None)
+
+    def invalidate_size_cache(self, rank: int | None = None) -> None:
+        """Drop memoized sizes after mutating ``chunks_by_rank`` directly."""
+        if rank is None:
+            self._size_cache.clear()
+        else:
+            self._size_cache.pop(rank, None)
 
     def chunks(self, rank: int) -> list[CDCChunk]:
         return self.chunks_by_rank.get(rank, [])
@@ -54,8 +66,19 @@ class RecordArchive:
     # -- size accounting -----------------------------------------------------
 
     def rank_bytes(self, rank: int) -> int:
-        """Compressed record size of one rank (what its node stores)."""
-        return len(zlib.compress(serialize_cdc_chunks(self.chunks(rank)), ZLIB_LEVEL))
+        """Compressed record size of one rank (what its node stores).
+
+        Memoized: recompressing every rank on each accounting call is the
+        dominant cost of :func:`summarize` on large archives. The cache is
+        invalidated by :meth:`append`; direct mutation of
+        ``chunks_by_rank`` must call :meth:`invalidate_size_cache`.
+        """
+        cached = self._size_cache.get(rank)
+        if cached is None:
+            cached = self._size_cache[rank] = len(
+                zlib.compress(serialize_cdc_chunks(self.chunks(rank)), ZLIB_LEVEL)
+            )
+        return cached
 
     def total_bytes(self) -> int:
         return sum(self.rank_bytes(r) for r in self.chunks_by_rank)
@@ -73,12 +96,24 @@ class RecordArchive:
 
     # -- persistence -----------------------------------------------------------
 
-    def save(self, directory: str) -> None:
+    def save(self, directory: str, format: int = 2) -> None:
         """Write one ``rank-NNNNN.cdc`` file per rank plus a manifest.
 
         ``meta`` (JSON-serializable only) rides along in the manifest so a
         loaded archive knows how it was produced (workload, seeds, ...).
+
+        ``format=2`` (default) writes the durable framed layout with
+        per-chunk CRCs and atomic renames (see
+        :mod:`repro.replay.durable_store`); ``format=1`` writes the legacy
+        monolithic-zlib-blob layout for compatibility testing.
         """
+        if format == 2:
+            from repro.replay.durable_store import save_archive
+
+            save_archive(self, directory)
+            return
+        if format != 1:
+            raise ValueError(f"unknown archive format {format}")
         os.makedirs(directory, exist_ok=True)
         manifest = {"nprocs": self.nprocs, "meta": self.meta}
         with open(os.path.join(directory, "MANIFEST"), "w", encoding="utf-8") as fh:
@@ -92,25 +127,27 @@ class RecordArchive:
 
     @classmethod
     def load(cls, directory: str) -> "RecordArchive":
-        path = os.path.join(directory, "MANIFEST")
+        """Strictly load a v1 or v2 archive directory.
+
+        Any integrity violation — missing rank file, corrupt blob, bad
+        frame CRC, truncated tail — raises a
+        :class:`~repro.errors.RecordFormatError` subclass naming the rank
+        and path; raw ``FileNotFoundError`` / ``zlib.error`` never escape.
+        For damaged archives use
+        :func:`repro.replay.durable_store.load_archive` in salvage mode.
+        """
+        from repro.replay.durable_store import load_archive
+
         try:
-            with open(path, encoding="utf-8") as fh:
-                raw = fh.read()
-        except FileNotFoundError as exc:
-            raise RecordFormatError(f"no MANIFEST in {directory}") from exc
-        try:
-            manifest = json.loads(raw)
-            nprocs = int(manifest["nprocs"])
-            meta = dict(manifest.get("meta", {}))
-        except (ValueError, KeyError, TypeError) as exc:
-            raise RecordFormatError(f"malformed MANIFEST: {exc}") from exc
-        archive = cls(nprocs=nprocs, meta=meta)
-        for rank in range(archive.nprocs):
-            rank_path = os.path.join(directory, f"rank-{rank:05d}.cdc")
-            with open(rank_path, "rb") as fh:
-                data = zlib.decompress(fh.read())
-            for chunk in deserialize_cdc_chunks(data):
-                archive.append(rank, chunk)
+            archive, _ = load_archive(directory, mode="strict")
+        except FileNotFoundError as exc:  # opener-level surprises
+            raise RecordFormatError(
+                f"record file missing in {directory}: {exc}"
+            ) from exc
+        except zlib.error as exc:
+            raise RecordFormatError(
+                f"corrupt record data in {directory}: {exc}"
+            ) from exc
         return archive
 
 

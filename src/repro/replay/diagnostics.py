@@ -9,8 +9,7 @@ to its error, and that tooling can render for humans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 from repro.replay.replayer import CallsiteReplayState, ReplayController, _Peek
 from repro.sim.engine import Engine

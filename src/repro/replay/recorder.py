@@ -29,6 +29,7 @@ from repro.core.formats import serialize_raw_rows
 from repro.core.pipeline import encode_chunk
 from repro.core.record_table import RecordTableBuilder
 from repro.replay.chunk_store import RecordArchive
+from repro.replay.durable_store import DurableArchiveWriter
 from repro.replay.parallel_encoder import ParallelChunkEncoder, advance_ceilings
 from repro.replay.cost_model import (
     PerRankRecordingState,
@@ -73,6 +74,7 @@ class RecordingController(MFController):
         keep_outcomes: bool = True,
         replay_assist: bool = True,
         parallel_workers: int = 0,
+        store: DurableArchiveWriter | None = None,
     ) -> None:
         super().__init__()
         self.chunk_events = chunk_events
@@ -80,6 +82,11 @@ class RecordingController(MFController):
         self.keep_outcomes = keep_outcomes
         self.replay_assist = replay_assist
         self.archive = RecordArchive(nprocs)
+        #: optional durable writer: every flushed chunk also lands on
+        #: storage as a CRC'd frame, immediately (Section 3.5 epoch lines
+        #: make bounded in-run flushes possible; this is the code path a
+        #: crash must not be able to corrupt beyond its last frame).
+        self.store = store
         self.ranks: dict[int, RankRecorderState] = {
             r: RankRecorderState(r, PerRankRecordingState(self.cost_model))
             for r in range(nprocs)
@@ -136,6 +143,8 @@ class RecordingController(MFController):
             chunks = self._encoder.drain()
             for rank, chunk in zip(self._inflight, chunks):
                 self.archive.append(rank, chunk)
+                if self.store is not None:
+                    self.store.append(rank, chunk)
             self._inflight.clear()
             self._encoder.close()
 
@@ -162,6 +171,8 @@ class RecordingController(MFController):
             if ceilings.get(sender, -1) < ceiling:
                 ceilings[sender] = ceiling
         self.archive.append(rank, chunk)
+        if self.store is not None:
+            self.store.append(rank, chunk)
 
     # -- results ---------------------------------------------------------------
 
@@ -200,6 +211,7 @@ class GzipRecordingController(RecordingController):
         keep_outcomes: bool = True,
         replay_assist: bool = True,
         parallel_workers: int = 0,
+        store: DurableArchiveWriter | None = None,
     ) -> None:
         super().__init__(
             nprocs,
@@ -208,6 +220,7 @@ class GzipRecordingController(RecordingController):
             keep_outcomes=True,  # the raw format needs the full stream
             replay_assist=replay_assist,
             parallel_workers=parallel_workers,
+            store=store,
         )
 
     def storage_bytes(self, rank: int) -> int:

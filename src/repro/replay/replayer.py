@@ -678,3 +678,20 @@ class ReplayController(MFController):
                 remaining += state.chunk.num_events - state.cursor
             out[key] = remaining
         return out
+
+    def delivered_summary(self) -> dict[tuple[int, str], tuple[int, int]]:
+        """Per (rank, callsite): (events delivered, events recorded).
+
+        The salvage path uses this to report where a recovered record
+        ends: a truncated prefix shows delivered < recorded at the
+        callsite whose tail was dropped.
+        """
+        undelivered = self.undelivered_summary()
+        out: dict[tuple[int, str], tuple[int, int]] = {}
+        for (rank, callsite), remaining in undelivered.items():
+            total = sum(
+                c.num_events
+                for c in self.archive.chunks_by_callsite(rank).get(callsite, [])
+            )
+            out[(rank, callsite)] = (total - remaining, total)
+        return out

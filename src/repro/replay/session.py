@@ -21,9 +21,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.events import MFOutcome
-from repro.errors import SimulationError
+from repro.errors import RecordExhausted, SimulationError
 from repro.replay.chunk_store import RecordArchive
 from repro.replay.cost_model import RecordingCostModel
+from repro.replay.durable_store import (
+    DurableArchiveWriter,
+    RecoveryReport,
+    RetryPolicy,
+    load_archive,
+)
 from repro.replay.recorder import (
     DEFAULT_CHUNK_EVENTS,
     GzipRecordingController,
@@ -52,6 +58,15 @@ class RunResult:
     archive: RecordArchive | None = None
     #: controller, for mode-specific diagnostics
     controller: MFController | None = None
+    #: salvage-mode replay/loading only: what was recovered and what was lost
+    recovery: RecoveryReport | None = None
+    #: salvage-mode replay only: (rank, callsite) where the record ran out,
+    #: if the replayed program wanted more events than the record holds.
+    truncated_at: tuple[int, str] | None = None
+
+    @property
+    def truncated(self) -> bool:
+        return self.truncated_at is not None
 
     @property
     def observed_orders(self) -> dict[int, list]:
@@ -125,6 +140,11 @@ class RecordSession(_Session):
         parallel_workers: int = 0,
         latency: LatencyModel | None = None,
         engine_kwargs: Mapping[str, Any] | None = None,
+        store_dir: str | None = None,
+        store_opener: Any = open,
+        store_fsync: bool = True,
+        store_retry: RetryPolicy | None = None,
+        meta: Mapping[str, Any] | None = None,
     ) -> None:
         super().__init__(program, nprocs, network_seed, latency, engine_kwargs)
         self.chunk_events = chunk_events
@@ -133,8 +153,24 @@ class RecordSession(_Session):
         self.gzip_baseline = gzip_baseline
         self.replay_assist = replay_assist
         self.parallel_workers = parallel_workers
+        #: when set, chunks stream to this directory as durable v2 frames
+        #: while the run is in flight; the manifest commits at the end.
+        self.store_dir = store_dir
+        self.store_opener = store_opener
+        self.store_fsync = store_fsync
+        self.store_retry = store_retry
+        self.meta = dict(meta or {})
 
     def run(self) -> RunResult:
+        writer = None
+        if self.store_dir is not None:
+            writer = DurableArchiveWriter(
+                self.store_dir,
+                self.nprocs,
+                opener=self.store_opener,
+                fsync=self.store_fsync,
+                retry=self.store_retry,
+            )
         cls = GzipRecordingController if self.gzip_baseline else RecordingController
         controller = cls(
             self.nprocs,
@@ -143,8 +179,18 @@ class RecordSession(_Session):
             keep_outcomes=self.keep_outcomes,
             replay_assist=self.replay_assist,
             parallel_workers=self.parallel_workers,
+            store=writer,
         )
-        result = self._run(controller, controller.mode)
+        controller.archive.meta.update(self.meta)
+        try:
+            result = self._run(controller, controller.mode)
+        except BaseException:
+            # crash path: leave flushed frames on disk, commit no manifest
+            if writer is not None:
+                writer.abort()
+            raise
+        if writer is not None:
+            writer.close(controller.archive.meta)
         result.archive = controller.archive
         if self.keep_outcomes or self.gzip_baseline:
             result.outcomes = {
@@ -154,17 +200,41 @@ class RecordSession(_Session):
 
 
 class ReplaySession(_Session):
-    """Run under replay control, forcing the recorded receive order."""
+    """Run under replay control, forcing the recorded receive order.
+
+    ``archive`` may be an in-memory :class:`RecordArchive` or an archive
+    *directory* path; a path is loaded through the durable store in the
+    requested ``mode``:
+
+    * ``"strict"`` (default): any corruption — truncated tail, CRC
+      mismatch, missing rank file — raises
+      :class:`~repro.errors.ArchiveCorruptionError` before replay starts,
+      and a replay that outruns the record fails fast with
+      :class:`~repro.errors.RecordExhausted`.
+    * ``"salvage"``: loading recovers the longest valid epoch-aligned
+      chunk prefix per rank (the :class:`RecoveryReport` rides on the
+      result), and replay of a truncated record ends cleanly where the
+      record ends, with ``result.truncated_at`` naming the (rank,
+      callsite) that ran out. Application results of unfinished ranks are
+      whatever the partial run produced.
+    """
 
     def __init__(
         self,
         program: Callable | Sequence[Callable],
-        archive: RecordArchive,
+        archive: RecordArchive | str,
         network_seed: int = 0,
         delivery_mode: DeliveryMode = DeliveryMode.PROGRESSIVE,
         latency: LatencyModel | None = None,
         engine_kwargs: Mapping[str, Any] | None = None,
+        mode: str = "strict",
     ) -> None:
+        if mode not in ("strict", "salvage"):
+            raise ValueError(f"mode must be 'strict' or 'salvage', got {mode!r}")
+        self.mode = mode
+        self.recovery: RecoveryReport | None = None
+        if isinstance(archive, str):
+            archive, self.recovery = load_archive(archive, mode=mode)
         super().__init__(program, archive.nprocs, network_seed, latency, engine_kwargs)
         self.archive = archive
         self.delivery_mode = delivery_mode
@@ -173,6 +243,26 @@ class ReplaySession(_Session):
         controller = ReplayController(self.archive, delivery_mode=self.delivery_mode)
         try:
             result = self._run(controller, "replay")
+        except RecordExhausted as exc:
+            if self.mode != "salvage":
+                raise
+            # the program wants events past the recovered prefix: report
+            # where the record ends instead of failing the whole replay.
+            result = RunResult(
+                mode="replay-salvage",
+                nprocs=self.nprocs,
+                stats=self._engine.stats,
+            )
+            result.app_results = {p.rank: p.result for p in self._engine.procs}
+            result.final_clocks = {
+                p.rank: p.clock.value for p in self._engine.procs
+            }
+            result.controller = controller
+            result.truncated_at = (exc.rank, exc.callsite)
+            result.outcomes = dict(controller.outcomes)
+            result.archive = self.archive
+            result.recovery = self.recovery
+            return result
         except SimulationError as exc:
             # attach a structured post-mortem so the user sees *why*
             from repro.errors import ReplayDivergence
@@ -185,10 +275,11 @@ class ReplaySession(_Session):
             ) from exc
         result.outcomes = dict(controller.outcomes)
         result.archive = self.archive
+        result.recovery = self.recovery
         leftovers = {
             key: n for key, n in controller.undelivered_summary().items() if n
         }
-        if leftovers:
+        if leftovers and self.mode != "salvage":
             raise SimulationError(
                 f"replay finished with undelivered recorded events: {leftovers}"
             )

@@ -28,7 +28,7 @@ from repro.errors import DeadlockError, SimulationError
 from repro.sim.datatypes import Message, Request, RequestState
 from repro.sim.network import Network, payload_nbytes
 from repro.sim.pmpi import MFController
-from repro.sim.process import Compute, Ctx, MFCall, SimProcess
+from repro.sim.process import Compute, MFCall, SimProcess
 
 _RESUME = 0
 _DELIVER = 1

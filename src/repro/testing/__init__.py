@@ -1,0 +1,5 @@
+"""Test support: fault injection for the durable storage layer."""
+
+from repro.testing.faults import FaultInjector, FaultPlan, FaultyFile, InjectedCrash
+
+__all__ = ["FaultInjector", "FaultPlan", "FaultyFile", "InjectedCrash"]

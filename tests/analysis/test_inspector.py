@@ -1,7 +1,5 @@
 """Archive inspection statistics."""
 
-import pytest
-
 from repro.analysis.inspector import (
     chunk_stats,
     iter_chunk_stats,

@@ -1,7 +1,5 @@
 """Seed-search utilities."""
 
-import pytest
-
 from repro.analysis.seed_search import distinct_outcomes, sweep_seeds
 from repro.sim import ANY_SOURCE
 

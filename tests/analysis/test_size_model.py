@@ -45,8 +45,6 @@ class TestExactness:
         assert breakdown.total == serialized_chunk_bytes(chunk)
 
     def test_archive_breakdown_matches_uncompressed_archive(self, mcb_record):
-        import zlib
-
         _, _, result = mcb_record
         breakdown = archive_breakdown(result.archive)
         actual = sum(

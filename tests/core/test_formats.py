@@ -20,7 +20,6 @@ from repro.core.formats import (
     serialize_re_tables,
 )
 from repro.core.pipeline import encode_chunk
-from repro.core.record_table import RecordTable
 from repro.errors import RecordFormatError
 from tests.core.test_pipeline import random_events, table_of
 

@@ -28,7 +28,6 @@ from repro.core.varint import (
     encode_uvarint_array,
     encode_uvarint_array_scalar,
     svarint_size,
-    uvarint_size,
     zigzag_decode,
     zigzag_encode,
     _zigzag_big,

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.events import MFKind, MFOutcome, ReceiveEvent
 from repro.core.trace_io import (
-    dump_trace,
     load_trace,
     read_trace,
     save_trace,
@@ -69,6 +68,23 @@ class TestValidation:
     def test_non_json_header_rejected(self):
         with pytest.raises(RecordFormatError):
             load_trace(io.StringIO("garbage\n"))
+
+    def test_rank_beyond_header_nprocs_rejected(self):
+        """A record whose rank >= nprocs must not silently extend the dict."""
+        text = (
+            '{"format": "cdc-trace", "version": 1, "nprocs": 2}\n'
+            '{"rank": 5, "callsite": "a", "kind": "test", "matched": []}\n'
+        )
+        with pytest.raises(RecordFormatError, match="rank 5 out of range"):
+            load_trace(io.StringIO(text))
+
+    def test_negative_rank_rejected(self):
+        text = (
+            '{"format": "cdc-trace", "version": 1, "nprocs": 2}\n'
+            '{"rank": -1, "callsite": "a", "kind": "test", "matched": []}\n'
+        )
+        with pytest.raises(RecordFormatError, match="out of range"):
+            load_trace(io.StringIO(text))
 
 
 class TestInterop:

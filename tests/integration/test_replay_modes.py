@@ -1,7 +1,5 @@
 """Replay delivery modes: assist vs paper-faithful LMC vs barrier."""
 
-import pytest
-
 from repro.replay import RecordSession, ReplaySession, assert_replay_matches
 from repro.replay.replayer import DeliveryMode
 from repro.sim import ANY_SOURCE

@@ -63,6 +63,41 @@ class TestAccounting:
         assert info["nprocs"] == 2
         assert info["callsites"] == ["a", "b"]
 
+    def test_rank_bytes_memoized_and_invalidated_on_append(self, archive):
+        import zlib as _zlib
+
+        before = archive.rank_bytes(0)
+        assert archive._size_cache[0] == before
+        real_compress = _zlib.compress
+        calls = {"n": 0}
+
+        def counting(data, level=-1):
+            calls["n"] += 1
+            return real_compress(data, level)
+
+        _zlib.compress = counting
+        try:
+            assert archive.rank_bytes(0) == before  # served from cache
+            assert calls["n"] == 0
+            archive.append(0, chunk([ReceiveEvent(1, 9)], "a"))
+            after = archive.rank_bytes(0)
+            assert calls["n"] == 1  # append invalidated rank 0 only
+            assert after != before
+            archive.total_bytes()
+            assert calls["n"] == 2  # rank 1 computed once, then cached
+            archive.per_node_bytes()
+            assert calls["n"] == 2
+        finally:
+            _zlib.compress = real_compress
+
+    def test_invalidate_size_cache_after_direct_mutation(self, archive):
+        before = archive.rank_bytes(0)
+        archive.chunks_by_rank[0].pop()
+        archive.invalidate_size_cache(0)
+        assert archive.rank_bytes(0) != before
+        archive.invalidate_size_cache()
+        assert archive._size_cache == {}
+
 
 class TestPersistence:
     def test_save_load_roundtrip(self, archive, tmp_path):

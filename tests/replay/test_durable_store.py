@@ -1,0 +1,380 @@
+"""Durable v2 archive format: framing, atomicity, salvage, retries."""
+
+import errno
+import json
+import os
+import struct
+import zlib
+
+import pytest
+
+from repro.core.events import ReceiveEvent
+from repro.core.pipeline import encode_chunk
+from repro.core.record_table import RecordTable
+from repro.errors import ArchiveCorruptionError, RecordFormatError
+from repro.replay.chunk_store import RecordArchive
+from repro.replay.durable_store import (
+    ARCHIVE_MAGIC,
+    DurableArchiveWriter,
+    RetryPolicy,
+    frame_bytes,
+    load_archive,
+    rank_filename,
+    save_archive,
+)
+
+
+def chunk(events, callsite="cs", assist=False):
+    return encode_chunk(
+        RecordTable(callsite, tuple(events), (), ()), replay_assist=assist
+    )
+
+
+@pytest.fixture
+def archive():
+    a = RecordArchive(nprocs=3, meta={"workload": "unit"})
+    a.append(0, chunk([ReceiveEvent(1, 1), ReceiveEvent(1, 3)], "a"))
+    a.append(0, chunk([ReceiveEvent(2, 5)], "b"))
+    a.append(0, chunk([ReceiveEvent(1, 7), ReceiveEvent(2, 9)], "a"))
+    a.append(1, chunk([ReceiveEvent(0, 2)], "a", assist=True))
+    # rank 2 intentionally empty: header-only file must round-trip
+    return a
+
+
+def rank_path(directory, rank=0):
+    return os.path.join(directory, rank_filename(rank))
+
+
+class TestSaveLoadRoundTrip:
+    def test_round_trip_preserves_chunks_and_meta(self, archive, tmp_path):
+        d = str(tmp_path / "rec")
+        save_archive(archive, d)
+        loaded, report = load_archive(d)
+        assert report.clean
+        assert loaded.nprocs == archive.nprocs
+        assert loaded.meta == archive.meta
+        assert loaded.chunks_by_rank == archive.chunks_by_rank
+
+    def test_save_is_bit_identical_across_round_trips(self, archive, tmp_path):
+        d1, d2 = str(tmp_path / "r1"), str(tmp_path / "r2")
+        save_archive(archive, d1)
+        loaded, _ = load_archive(d1)
+        save_archive(loaded, d2)
+        for name in ["MANIFEST"] + [rank_filename(r) for r in range(3)]:
+            b1 = open(os.path.join(d1, name), "rb").read()
+            b2 = open(os.path.join(d2, name), "rb").read()
+            assert b1 == b2, name
+
+    def test_no_tmp_files_left_behind(self, archive, tmp_path):
+        d = str(tmp_path / "rec")
+        save_archive(archive, d)
+        assert not [n for n in os.listdir(d) if n.endswith(".tmp")]
+
+    def test_empty_rank_is_header_only(self, archive, tmp_path):
+        d = str(tmp_path / "rec")
+        save_archive(archive, d)
+        assert open(rank_path(d, 2), "rb").read() == ARCHIVE_MAGIC
+
+    def test_v1_archives_still_load(self, archive, tmp_path):
+        d = str(tmp_path / "legacy")
+        archive.save(d, format=1)
+        loaded, report = load_archive(d)
+        assert report.clean
+        assert all(r.format == "v1" for r in report.ranks.values())
+        assert loaded.chunks_by_rank == archive.chunks_by_rank
+        assert RecordArchive.load(d).chunks_by_rank == archive.chunks_by_rank
+
+    def test_record_archive_save_defaults_to_v2(self, archive, tmp_path):
+        d = str(tmp_path / "rec")
+        archive.save(d)
+        assert open(rank_path(d), "rb").read().startswith(ARCHIVE_MAGIC)
+        assert RecordArchive.load(d).chunks_by_rank == archive.chunks_by_rank
+
+
+class TestIncrementalWriter:
+    def test_incremental_equals_full_save(self, archive, tmp_path):
+        d_inc, d_full = str(tmp_path / "inc"), str(tmp_path / "full")
+        with DurableArchiveWriter(d_inc, archive.nprocs) as writer:
+            for rank, c in archive.iter_all():
+                writer.append(rank, c)
+            writer.close(dict(archive.meta))
+        save_archive(archive, d_full)
+        for name in ["MANIFEST"] + [rank_filename(r) for r in range(3)]:
+            assert (
+                open(os.path.join(d_inc, name), "rb").read()
+                == open(os.path.join(d_full, name), "rb").read()
+            ), name
+
+    def test_abort_leaves_no_manifest(self, archive, tmp_path):
+        d = str(tmp_path / "crashed")
+        writer = DurableArchiveWriter(d, 3)
+        writer.append(0, archive.chunks(0)[0])
+        writer.abort()
+        assert not os.path.exists(os.path.join(d, "MANIFEST"))
+        with pytest.raises(RecordFormatError):
+            load_archive(d, mode="strict")
+        recovered, report = load_archive(d, mode="salvage")
+        assert not report.clean
+        assert recovered.chunks(0) == archive.chunks(0)[:1]
+
+    def test_append_after_close_rejected(self, archive, tmp_path):
+        writer = DurableArchiveWriter(str(tmp_path / "w"), 1)
+        writer.close()
+        with pytest.raises(RecordFormatError):
+            writer.append(0, archive.chunks(0)[0])
+
+    def test_out_of_range_rank_rejected(self, archive, tmp_path):
+        with DurableArchiveWriter(str(tmp_path / "w"), 1) as writer:
+            with pytest.raises(RecordFormatError):
+                writer.append(5, archive.chunks(0)[0])
+
+
+class TestCorruptionDetection:
+    def saved(self, archive, tmp_path):
+        d = str(tmp_path / "rec")
+        save_archive(archive, d)
+        return d
+
+    def test_truncated_tail_strict_raises_with_context(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        path = rank_path(d)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-3])
+        with pytest.raises(ArchiveCorruptionError) as info:
+            load_archive(d, mode="strict")
+        err = info.value
+        assert err.rank == 0
+        assert err.frame_index == 2  # first two frames intact
+        assert "truncated-tail" in str(err)
+        assert "epoch ceilings" in err.epoch_context
+
+    def test_truncated_tail_salvages_prefix(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        path = rank_path(d)
+        data = open(path, "rb").read()
+        open(path, "wb").write(data[:-3])
+        recovered, report = load_archive(d, mode="salvage")
+        rec = report.ranks[0]
+        assert rec.failure == "truncated-tail"
+        assert rec.frames_kept == 2
+        assert rec.bytes_dropped > 0
+        assert recovered.chunks(0) == archive.chunks(0)[:2]
+        assert recovered.chunks(1) == archive.chunks(1)
+
+    def test_every_truncation_point_yields_valid_prefix(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        full = open(rank_path(d), "rb").read()
+        frames = [frame_bytes(c) for c in archive.chunks(0)]
+        boundaries = [len(ARCHIVE_MAGIC)]
+        for f in frames:
+            boundaries.append(boundaries[-1] + len(f))
+        for cut in range(len(full)):
+            open(rank_path(d), "wb").write(full[:cut])
+            recovered, report = load_archive(d, mode="salvage")
+            expect = sum(1 for b in boundaries[1:] if b <= cut)
+            assert report.ranks[0].frames_kept == expect, cut
+            assert recovered.chunks(0) == archive.chunks(0)[:expect], cut
+
+    def test_crc_mismatch_detected(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        path = rank_path(d)
+        data = bytearray(open(path, "rb").read())
+        # flip one payload bit of the second frame
+        first_len = struct.unpack_from("<I", data, len(ARCHIVE_MAGIC))[0]
+        second_payload = len(ARCHIVE_MAGIC) + 8 + first_len + 8
+        data[second_payload] ^= 0x10
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(ArchiveCorruptionError) as info:
+            load_archive(d, mode="strict")
+        assert info.value.frame_index == 1
+        recovered, report = load_archive(d, mode="salvage")
+        assert report.ranks[0].failure == "crc-mismatch"
+        assert recovered.chunks(0) == archive.chunks(0)[:1]
+
+    def test_missing_rank_file(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        os.remove(rank_path(d, 1))
+        with pytest.raises(RecordFormatError) as info:
+            RecordArchive.load(d)
+        assert "rank" in str(info.value) and rank_filename(1) in str(info.value)
+        recovered, report = load_archive(d, mode="salvage")
+        assert report.ranks[1].failure == "missing-file"
+        assert recovered.chunks(1) == []
+
+    def test_frame_count_mismatch_vs_manifest(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        manifest = json.load(open(os.path.join(d, "MANIFEST")))
+        manifest["frames"]["0"] = 7
+        with open(os.path.join(d, "MANIFEST"), "w") as fh:
+            json.dump(manifest, fh)
+        with pytest.raises(ArchiveCorruptionError) as info:
+            load_archive(d, mode="strict")
+        assert "frame-count-mismatch" in str(info.value)
+
+    def test_garbage_rank_file_is_legacy_corrupt(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        open(rank_path(d), "wb").write(b"not an archive at all")
+        with pytest.raises(RecordFormatError):
+            load_archive(d, mode="strict")
+        _, report = load_archive(d, mode="salvage")
+        assert report.ranks[0].failure == "legacy-corrupt"
+
+    def test_report_render_mentions_damage(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        data = open(rank_path(d), "rb").read()
+        open(rank_path(d), "wb").write(data[:-1])
+        _, report = load_archive(d, mode="salvage")
+        text = report.render()
+        assert "rank 0" in text and "truncated-tail" in text
+        assert not report.clean
+
+    def test_clean_report_render(self, archive, tmp_path):
+        d = self.saved(archive, tmp_path)
+        _, report = load_archive(d, mode="salvage")
+        assert report.clean
+        assert "clean" in report.render()
+
+
+class TestRetries:
+    def make_flaky_opener(self, failures):
+        """First ``failures`` writes raise transient EIO."""
+        state = {"remaining": failures}
+
+        class Flaky:
+            def __init__(self, fh):
+                self._fh = fh
+
+            def write(self, data):
+                if state["remaining"] > 0:
+                    state["remaining"] -= 1
+                    raise OSError(errno.EIO, "flaky device")
+                return self._fh.write(data)
+
+            def __getattr__(self, name):
+                return getattr(self._fh, name)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._fh.close()
+
+        def opener(path, mode="rb", **kw):
+            fh = open(path, mode, **kw)
+            return Flaky(fh) if "w" in mode else fh
+
+        return opener, state
+
+    def test_transient_errors_are_retried(self, archive, tmp_path):
+        d = str(tmp_path / "flaky")
+        opener, state = self.make_flaky_opener(failures=2)
+        retry = RetryPolicy(attempts=4, base_delay=0.0)
+        save_archive(archive, d, opener=opener, retry=retry)
+        assert state["remaining"] == 0
+        loaded, report = load_archive(d)
+        assert report.clean
+        assert loaded.chunks_by_rank == archive.chunks_by_rank
+
+    def test_exhausted_retries_raise_the_oserror(self, archive, tmp_path):
+        d = str(tmp_path / "dead")
+        opener, _ = self.make_flaky_opener(failures=100)
+        retry = RetryPolicy(attempts=3, base_delay=0.0)
+        with pytest.raises(OSError):
+            save_archive(archive, d, opener=opener, retry=retry)
+
+    def test_non_transient_errors_not_retried(self, archive, tmp_path):
+        calls = {"n": 0}
+
+        def opener(path, mode="rb", **kw):
+            calls["n"] += 1
+            raise OSError(errno.EACCES, "permission denied")
+
+        with pytest.raises(OSError):
+            save_archive(
+                archive,
+                str(tmp_path / "denied"),
+                opener=opener,
+                retry=RetryPolicy(attempts=5, base_delay=0.0),
+            )
+        assert calls["n"] == 1
+
+    def test_retry_rewinds_partial_writes(self, archive, tmp_path):
+        """A write that fails halfway must not leave stray bytes behind."""
+        state = {"armed": True}
+
+        class HalfWriter:
+            def __init__(self, fh):
+                self._fh = fh
+
+            def write(self, data):
+                if state["armed"] and len(data) > 4:
+                    state["armed"] = False
+                    self._fh.write(data[: len(data) // 2])
+                    raise OSError(errno.EIO, "died mid-write")
+                return self._fh.write(data)
+
+            def __getattr__(self, name):
+                return getattr(self._fh, name)
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._fh.close()
+
+        def opener(path, mode="rb", **kw):
+            fh = open(path, mode, **kw)
+            return HalfWriter(fh) if "w" in mode else fh
+
+        d = str(tmp_path / "halfway")
+        with DurableArchiveWriter(
+            d, 1, opener=opener, retry=RetryPolicy(attempts=3, base_delay=0.0)
+        ) as writer:
+            for c in archive.chunks(0):
+                writer.append(0, c)
+            writer.close({"workload": "unit"})
+        loaded, report = load_archive(d)
+        assert report.clean
+        assert loaded.chunks(0) == archive.chunks(0)
+
+
+class TestManifestNprocsFlip:
+    def test_v1_nprocs_shrink_flip_is_detected(self, archive, tmp_path):
+        """Bit flip turning '"nprocs": 3' into '"nprocs": 1' must not
+        silently drop ranks — the v1 manifest has no frame table, so the
+        loader falls back to spotting rank files beyond nprocs."""
+        d = str(tmp_path / "legacy")
+        archive.save(d, format=1)
+        path = os.path.join(d, "MANIFEST")
+        raw = open(path, "rb").read()
+        i = raw.index(b'"nprocs": 3') + len(b'"nprocs": ')
+        flipped = raw[:i] + bytes([raw[i] ^ 0x02]) + raw[i + 1 :]  # '3' -> '1'
+        open(path, "wb").write(flipped)
+        with pytest.raises(RecordFormatError):
+            load_archive(d, mode="strict")
+
+    def test_v2_nprocs_flip_contradicts_frame_table(self, archive, tmp_path):
+        d = str(tmp_path / "rec")
+        save_archive(archive, d)
+        path = os.path.join(d, "MANIFEST")
+        raw = open(path, "rb").read()
+        i = raw.index(b'"nprocs": 3') + len(b'"nprocs": ')
+        flipped = raw[:i] + bytes([raw[i] ^ 0x02]) + raw[i + 1 :]
+        open(path, "wb").write(flipped)
+        with pytest.raises(RecordFormatError):
+            load_archive(d, mode="strict")
+
+
+class TestZlibCorruptionWrapped:
+    def test_corrupt_v1_blob_raises_record_format_error(self, archive, tmp_path):
+        d = str(tmp_path / "legacy")
+        archive.save(d, format=1)
+        path = rank_path(d)
+        data = bytearray(open(path, "rb").read())
+        data[len(data) // 2] ^= 0xFF
+        open(path, "wb").write(bytes(data))
+        with pytest.raises(RecordFormatError):
+            RecordArchive.load(d)
+        with pytest.raises(zlib.error):
+            # the raw error the old loader leaked, for contrast
+            zlib.decompress(bytes(data))

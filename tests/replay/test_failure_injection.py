@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import RecordExhausted, ReplayDivergence, ReproError
+from repro.errors import RecordExhausted, ReproError
 from repro.replay import RecordSession, ReplaySession
 from repro.sim import ANY_SOURCE
 

@@ -1,7 +1,5 @@
 """Recording controller: chunking, overhead charging, gzip baseline."""
 
-import pytest
-
 from repro.replay import (
     GzipRecordingController,
     RecordSession,

@@ -82,6 +82,61 @@ class TestReplay:
             main(["replay", "--record", directory])
 
 
+class TestVerifyAndSalvage:
+    def damaged_copy(self, record_dir, tmp_path):
+        import shutil
+
+        d = str(tmp_path / "damaged")
+        shutil.copytree(record_dir, d)
+        victim = None
+        import os
+
+        for name in sorted(os.listdir(d)):
+            if name.startswith("rank-") and name.endswith(".cdc"):
+                path = os.path.join(d, name)
+                if os.path.getsize(path) > 16:
+                    victim = path
+                    break
+        data = open(victim, "rb").read()
+        open(victim, "wb").write(data[:-5])  # torn tail
+        return d
+
+    def test_verify_clean_archive(self, record_dir, capsys):
+        assert main(["verify", "--record", record_dir]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out and "archive OK" in out
+
+    def test_verify_damaged_archive_fails(self, record_dir, tmp_path, capsys):
+        d = self.damaged_copy(record_dir, tmp_path)
+        assert main(["verify", "--record", d]) == 1
+        assert "truncated-tail" in capsys.readouterr().out
+
+    def test_verify_not_an_archive(self, tmp_path, capsys):
+        assert main(["verify", "--record", str(tmp_path)]) == 1
+        assert "verify failed" in capsys.readouterr().out
+
+    def test_salvage_writes_recovered_archive(self, record_dir, tmp_path, capsys):
+        d = self.damaged_copy(record_dir, tmp_path)
+        out_dir = str(tmp_path / "recovered")
+        assert main(["salvage", "--record", d, "--out", out_dir]) == 2
+        assert "salvaged archive written" in capsys.readouterr().out
+        # the recovered archive is clean and strictly loadable
+        assert main(["verify", "--record", out_dir]) == 0
+
+    def test_replay_strict_fails_on_damage(self, record_dir, tmp_path):
+        from repro.errors import ArchiveCorruptionError
+
+        d = self.damaged_copy(record_dir, tmp_path)
+        with pytest.raises(ArchiveCorruptionError):
+            main(["replay", "--record", d])
+
+    def test_replay_salvage_replays_prefix(self, record_dir, tmp_path, capsys):
+        d = self.damaged_copy(record_dir, tmp_path)
+        assert main(["replay", "--record", d, "--salvage"]) == 0
+        out = capsys.readouterr().out
+        assert "record ends early" in out or "replayed" in out
+
+
 class TestInspect:
     def test_summary_table(self, record_dir, capsys):
         assert main(["inspect", "--record", record_dir]) == 0
