@@ -106,7 +106,11 @@ def cmd_replay(args: argparse.Namespace) -> int:
         str(meta["workload"]), int(meta["nprocs"]), **dict(meta.get("params", {}))
     )
     session = ReplaySession(
-        program, archive, network_seed=args.network_seed, mode=mode
+        program,
+        archive,
+        network_seed=args.network_seed,
+        mode=mode,
+        telemetry=True if args.verbose else None,
     )
     session.recovery = recovery
     result = session.run()
@@ -114,6 +118,9 @@ def cmd_replay(args: argparse.Namespace) -> int:
         f"replayed {result.total_receive_events():,} receive events on "
         f"{archive.nprocs} ranks under network seed {args.network_seed}"
     )
+    if args.verbose and result.run_stats is not None:
+        print()
+        print(result.run_stats.render())
     if result.truncated_at is not None:
         rank, callsite = result.truncated_at
         delivered = result.controller.delivered_summary()
@@ -228,6 +235,164 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Storage statistics of an archive: sizes, stages, permutation rates."""
+    from repro.analysis.inspector import iter_chunk_stats, profile_callsites
+    from repro.analysis.size_model import archive_breakdown
+    from repro.core.formats import ROW_BITS
+
+    archive = RecordArchive.load(args.record)
+
+    per_rank = []
+    total_events = total_unmatched = 0
+    for rank in range(archive.nprocs):
+        chunks = archive.chunks(rank)
+        events = sum(c.num_events for c in chunks)
+        unmatched = sum(n for c in chunks for _, n in c.unmatched_runs)
+        total_events += events
+        total_unmatched += unmatched
+        per_rank.append(
+            (
+                rank,
+                len(chunks),
+                events,
+                unmatched,
+                human_bytes(archive.rank_bytes(rank)),
+            )
+        )
+    print(
+        render_table(
+            f"per-rank storage for {args.record}",
+            ["rank", "chunks", "events", "unmatched", "stored"],
+            per_rank[: args.ranks]
+            + ([("…", "", "", "", "")] if archive.nprocs > args.ranks else []),
+        )
+    )
+
+    # per-stage sizes: raw quintuples -> CDC tables (pre-gzip) -> gzip
+    rows = total_events + total_unmatched
+    raw_bytes = (rows * ROW_BITS + 7) // 8
+    breakdown = archive_breakdown(archive)
+    pre_gzip = breakdown.total
+    stored = archive.total_bytes()
+    stage_rows = [
+        ("raw quintuples", human_bytes(raw_bytes), "1.0x"),
+        (
+            "CDC tables (pre-gzip)",
+            human_bytes(pre_gzip),
+            f"{raw_bytes / max(1, pre_gzip):.1f}x",
+        ),
+        ("stored (gzip)", human_bytes(stored), f"{raw_bytes / max(1, stored):.1f}x"),
+    ]
+    print()
+    print(
+        render_table(
+            f"compression stages ({rows:,} rows, {total_events:,} receives)",
+            ["stage", "bytes", "rate vs raw"],
+            stage_rows,
+            note=f"gzip contributes {pre_gzip / max(1, stored):.2f}x "
+                 f"on top of the CDC tables",
+        )
+    )
+
+    per_event = breakdown.per_event()
+    print()
+    print(
+        render_table(
+            "CDC table breakdown (pre-gzip)",
+            ["table", "bytes", "bytes/event"],
+            [
+                (name, human_bytes(getattr(breakdown, name)), f"{per_event[name]:.3f}")
+                for name in (
+                    "permutation",
+                    "with_next",
+                    "unmatched",
+                    "epoch",
+                    "exceptions",
+                    "assist",
+                    "header",
+                )
+            ],
+        )
+    )
+
+    print()
+    print(
+        render_table(
+            "permutation rates per callsite",
+            ["callsite", "events", "permuted", "polls/recv"],
+            [
+                (
+                    p.callsite,
+                    p.events,
+                    f"{100 * p.permutation_percentage:.1f}%",
+                    f"{p.polling_ratio:.2f}",
+                )
+                for p in profile_callsites(archive)
+            ],
+        )
+    )
+    if args.chunks:
+        rows_ = [
+            (
+                s.rank,
+                s.callsite,
+                s.index,
+                s.events,
+                f"{100 * s.permutation_percentage:.1f}%",
+                s.unmatched_tests,
+            )
+            for s in iter_chunk_stats(archive)
+            if s.rank < args.ranks
+        ]
+        print()
+        print(
+            render_table(
+                f"per-chunk breakdown (first {args.ranks} ranks)",
+                ["rank", "callsite", "chunk", "events", "permuted", "unmatched"],
+                rows_,
+            )
+        )
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a workload with telemetry on and export the trace + metrics."""
+    from repro.obs import (
+        TelemetryRegistry,
+        write_chrome_trace,
+        write_metrics_jsonl,
+    )
+
+    params = _parse_params(args.param)
+    program, _ = make_workload(args.workload, args.nprocs, **params)
+    registry = TelemetryRegistry()
+    record = RecordSession(
+        program,
+        nprocs=args.nprocs,
+        network_seed=args.network_seed,
+        parallel_workers=args.parallel_workers,
+        telemetry=registry,
+    ).run()
+    if args.replay:
+        ReplaySession(
+            program,
+            record.archive,
+            network_seed=args.network_seed + 1,
+            telemetry=registry,
+        ).run()
+    events = write_chrome_trace(registry, args.out)
+    print(f"trace: {args.out} ({events:,} trace events) — load in "
+          "chrome://tracing or https://ui.perfetto.dev")
+    if args.metrics_out:
+        lines = write_metrics_jsonl(registry, args.metrics_out)
+        print(f"metrics: {args.metrics_out} ({lines:,} lines)")
+    if record.run_stats is not None:
+        print()
+        print(record.run_stats.render())
+    return 0
+
+
 def cmd_transcode(args: argparse.Namespace) -> int:
     """Compress a portable JSON-lines trace with every Figure 13 method."""
     from repro.core.trace_io import read_trace
@@ -318,7 +483,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="tolerate archive corruption: replay the longest recoverable "
              "epoch-aligned prefix and report where the record ends",
     )
+    p_replay.add_argument(
+        "--verbose", action="store_true",
+        help="run with telemetry and print the run-stats rollup",
+    )
     p_replay.set_defaults(func=cmd_replay)
+
+    p_stats = sub.add_parser(
+        "stats",
+        help="storage statistics of an archive: per-rank sizes, "
+             "compression stages, permutation rates",
+    )
+    p_stats.add_argument("record", help="archive directory")
+    p_stats.add_argument(
+        "--ranks", type=int, default=8, metavar="N",
+        help="show at most N ranks in per-rank tables",
+    )
+    p_stats.add_argument(
+        "--chunks", action="store_true", help="include the per-chunk breakdown"
+    )
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a workload with telemetry and export a Chrome trace",
+    )
+    _add_workload_args(p_trace)
+    p_trace.add_argument(
+        "--out", default="trace.json", metavar="FILE",
+        help="Chrome trace_event JSON output (Perfetto-loadable)",
+    )
+    p_trace.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="additionally dump every instrument as metrics JSONL",
+    )
+    p_trace.add_argument(
+        "--replay", action="store_true",
+        help="also replay the fresh record into the same trace",
+    )
+    p_trace.add_argument(
+        "--parallel-workers", type=int, default=0, metavar="N",
+        help="encode chunks on N worker threads (0 = serial)",
+    )
+    p_trace.set_defaults(func=cmd_trace)
 
     p_verify = sub.add_parser(
         "verify", help="integrity-check a recorded archive (CRCs, tails)"

@@ -29,6 +29,7 @@ from repro.core.formats import (
 )
 from repro.core.pipeline import encode_chunk
 from repro.core.record_table import build_tables
+from repro.obs import get_registry, span
 
 #: Callsite label used when MF identification is disabled (merged tables).
 MERGED_CALLSITE = "<merged>"
@@ -67,24 +68,51 @@ def compress(
     chunk_events: int = DEFAULT_CHUNK_EVENTS,
 ) -> bytes:
     """Produce the storage bytes for one rank's outcome stream."""
+    registry = get_registry()
+    if not registry.enabled:
+        return _compress_parts(outcomes, method, chunk_events)[1]
+    with span("compress", method=method.name) as sp:
+        payload_len, data = _compress_parts(outcomes, method, chunk_events)
+        sp.set(bytes_pre_zlib=payload_len, bytes_out=len(data))
+    key = method.name.lower()
+    registry.counter(f"compress.{key}.calls").add()
+    registry.counter(f"compress.{key}.bytes_pre_zlib").add(payload_len)
+    registry.counter(f"compress.{key}.bytes_out").add(len(data))
+    return data
+
+
+def _compress_parts(
+    outcomes: Sequence[MFOutcome],
+    method: Method,
+    chunk_events: int,
+) -> tuple[int, bytes]:
+    """``(pre-zlib payload bytes, storage bytes)`` for one rank's stream.
+
+    The first element attributes how much of the final size is the
+    structural encoding (RE / PE / LPE tables) versus the trailing zlib
+    pass — ``repro stats`` reports the ratio between the two.
+    """
     if method is Method.RAW:
-        return serialize_raw_rows(list(outcomes_to_rows(outcomes)))
+        raw = serialize_raw_rows(list(outcomes_to_rows(outcomes)))
+        return len(raw), raw
     if method is Method.GZIP:
-        return zlib.compress(
-            serialize_raw_rows(list(outcomes_to_rows(outcomes))), ZLIB_LEVEL
-        )
+        raw = serialize_raw_rows(list(outcomes_to_rows(outcomes)))
+        return len(raw), zlib.compress(raw, ZLIB_LEVEL)
     if method is Method.CDC_RE:
         tables = build_tables(_merge_callsites(outcomes), chunk_events)
         flat = [t for ts in tables.values() for t in ts]
-        return zlib.compress(serialize_re_tables(flat), ZLIB_LEVEL)
+        payload = serialize_re_tables(flat)
+        return len(payload), zlib.compress(payload, ZLIB_LEVEL)
     if method is Method.CDC_RE_PE_LPE:
         tables = build_tables(_merge_callsites(outcomes), chunk_events)
         chunks = [encode_chunk(t) for ts in tables.values() for t in ts]
-        return zlib.compress(serialize_cdc_chunks(chunks), ZLIB_LEVEL)
+        payload = serialize_cdc_chunks(chunks)
+        return len(payload), zlib.compress(payload, ZLIB_LEVEL)
     if method is Method.CDC:
         tables = build_tables(list(outcomes), chunk_events)
         chunks = [encode_chunk(t) for ts in tables.values() for t in ts]
-        return zlib.compress(serialize_cdc_chunks(chunks), ZLIB_LEVEL)
+        payload = serialize_cdc_chunks(chunks)
+        return len(payload), zlib.compress(payload, ZLIB_LEVEL)
     raise ValueError(f"unknown method {method!r}")  # pragma: no cover
 
 

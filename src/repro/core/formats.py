@@ -37,6 +37,7 @@ from repro.core.varint import (
     encode_uvarint_array,
 )
 from repro.errors import RecordFormatError
+from repro.obs import get_registry, span
 
 
 def _as_list(column) -> list[int]:
@@ -200,8 +201,24 @@ def deserialize_re_tables(data: bytes) -> list[RecordTable]:
 # ---------------------------------------------------------------------------
 
 
+#: serialize-side per-table counter names, in chunk-layout order. Each
+#: ``format.cdc.<table>_bytes`` counter attributes serialized bytes to the
+#: CDC table that produced them (telemetry only; see ``repro stats``).
+_CDC_TABLE_COUNTERS = (
+    "permutation",
+    "with_next",
+    "unmatched",
+    "epoch",
+    "exceptions",
+    "assist",
+)
+
+
 def serialize_cdc_chunks(chunks: Sequence[CDCChunk]) -> bytes:
     """Serialize fully-encoded CDC chunks (LP-encoded index columns)."""
+    registry = get_registry()
+    track = registry.enabled
+    table_bytes = dict.fromkeys(_CDC_TABLE_COUNTERS, 0) if track else None
     out = bytearray(CDC_MAGIC)
     callsites = sorted({c.callsite for c in chunks})
     _write_string_table(out, callsites)
@@ -210,11 +227,21 @@ def serialize_cdc_chunks(chunks: Sequence[CDCChunk]) -> bytes:
     for chunk in chunks:
         encode_uvarint(cs_id[chunk.callsite], out)
         encode_uvarint(chunk.num_events, out)
+        mark = len(out)
         out += encode_svarint_array(lp_encode_auto(chunk.diff.indices))
         out += encode_svarint_array(chunk.diff.delays)
+        if track:
+            table_bytes["permutation"] += len(out) - mark
+            mark = len(out)
         out += encode_svarint_array(lp_encode_auto(chunk.with_next_indices))
+        if track:
+            table_bytes["with_next"] += len(out) - mark
+            mark = len(out)
         out += encode_svarint_array(lp_encode_auto([i for i, _ in chunk.unmatched_runs]))
         out += encode_uvarint_array([c for _, c in chunk.unmatched_runs])
+        if track:
+            table_bytes["unmatched"] += len(out) - mark
+            mark = len(out)
         pairs = chunk.epoch.as_sorted_pairs()
         counts_by_rank = dict(chunk.sender_counts)
         mins_by_rank = dict(chunk.sender_min_clocks)
@@ -229,20 +256,47 @@ def serialize_cdc_chunks(chunks: Sequence[CDCChunk]) -> bytes:
         out += encode_uvarint_array(
             [clock - mins_by_rank[r] for r, clock in pairs]
         )
+        if track:
+            table_bytes["epoch"] += len(out) - mark
+            mark = len(out)
         # boundary exceptions (DESIGN.md §5.2): usually both arrays empty
         out += encode_uvarint_array([r for r, _ in chunk.boundary_exceptions])
         out += encode_svarint_array([c for _, c in chunk.boundary_exceptions])
+        if track:
+            table_bytes["exceptions"] += len(out) - mark
+            mark = len(out)
         # optional replay-assist sender column (DESIGN.md §5.6)
         if chunk.sender_sequence is None:
             out.append(0)
         else:
             out.append(1)
             out += encode_uvarint_array(chunk.sender_sequence)
+        if track:
+            table_bytes["assist"] += len(out) - mark
+    if track:
+        registry.counter("format.cdc.serialize_calls").add()
+        registry.counter("format.cdc.chunks_out").add(len(chunks))
+        registry.counter("format.cdc.bytes_out").add(len(out))
+        for table, n in table_bytes.items():
+            registry.counter(f"format.cdc.{table}_bytes").add(n)
     return bytes(out)
 
 
 def deserialize_cdc_chunks(data: bytes) -> list[CDCChunk]:
     """Inverse of :func:`serialize_cdc_chunks`."""
+    registry = get_registry()
+    if not registry.enabled:
+        return _deserialize_cdc_chunks(data)
+    with span("format.deserialize_cdc", bytes_in=len(data)) as sp:
+        chunks = _deserialize_cdc_chunks(data)
+        sp.set(chunks=len(chunks))
+    registry.counter("format.cdc.deserialize_calls").add()
+    registry.counter("format.cdc.chunks_in").add(len(chunks))
+    registry.counter("format.cdc.bytes_in").add(len(data))
+    return chunks
+
+
+def _deserialize_cdc_chunks(data: bytes) -> list[CDCChunk]:
     if data[:4] != CDC_MAGIC:
         raise RecordFormatError("bad CDC-record magic")
     callsites, offset = _read_string_table(data, 4)

@@ -32,6 +32,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.errors import RecordFormatError
+from repro.obs import get_registry
 
 __all__ = [
     "IntArray",
@@ -99,8 +100,19 @@ def uvarint_sizes(values: np.ndarray) -> np.ndarray:
     return sizes
 
 
+def _fallback(direction: str) -> None:
+    """Count a scalar-fallback event (rare path: out-of-range values)."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter(f"kernels.{direction}_fallbacks").add()
+
+
 def _encode_u64(v: np.ndarray) -> bytes:
     """Concatenated LEB128 varints for a uint64 array (no length prefix)."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("kernels.encode_batches").add()
+        registry.counter("kernels.encode_values").add(int(v.size))
     if v.size == 0:
         return b""
     if bool((v < np.uint64(0x80)).all()):
@@ -146,8 +158,10 @@ def uvarint_encode_batch(values: IntArray) -> bytes | None:
         for x in values:
             if x < 0:
                 raise ValueError(f"uvarint requires value >= 0, got {x}")
+        _fallback("encode")
         return None
     except (ValueError, TypeError):
+        _fallback("encode")
         return None
     return _encode_u64(v)
 
@@ -160,16 +174,19 @@ def svarint_encode_batch(values: IntArray) -> bytes | None:
     if isinstance(values, np.ndarray):
         if values.dtype.kind == "u":
             if values.size and bool((values >= np.uint64(1) << np.uint64(63)).any()):
+                _fallback("encode")
                 return None
             x = values.astype(np.int64)
         elif values.dtype.kind == "i":
             x = values.astype(np.int64, copy=False)
         else:
+            _fallback("encode")
             return None
         return _encode_u64(zigzag_encode_array(x))
     try:
         x = np.asarray(values, dtype=np.int64)
     except (OverflowError, ValueError, TypeError):
+        _fallback("encode")
         return None
     return _encode_u64(zigzag_encode_array(x))
 
@@ -220,7 +237,12 @@ def uvarint_decode_batch(
     sizes = ends - starts + 1
     max_len = int(sizes.max())
     if max_len > _MAX_FAST_LEN:
+        _fallback("decode")
         return None
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("kernels.decode_batches").add()
+        registry.counter("kernels.decode_values").add(count)
     values = np.zeros(count, dtype=np.uint64)
     if max_len == 1:
         values |= arr[starts].astype(np.uint64)

@@ -37,6 +37,7 @@ from repro.core.permutation import (
 )
 from repro.core.record_table import RecordTable
 from repro.errors import DecodingError
+from repro.obs import get_registry, span
 
 
 @dataclass(frozen=True)
@@ -133,26 +134,33 @@ def encode_chunk(
     sender's prior ceiling become boundary exceptions (see CDCChunk).
     """
     matched = table.matched
-    encoded = _encode_matched_batch(matched, prior_ceilings)
-    if encoded is None:
-        encoded = _encode_matched_scalar(matched, prior_ceilings)
-    observed_indices, sender_counts, sender_min_clocks, exceptions = encoded
-    return CDCChunk(
-        callsite=table.callsite,
-        num_events=len(matched),
-        # both index paths construct a valid permutation (inverse argsort /
-        # unique-key lookup), so the O(n) re-validation is skipped
-        diff=encode_permutation(observed_indices, validated=True),
-        with_next_indices=table.with_next_indices,
-        unmatched_runs=table.unmatched_runs,
-        epoch=EpochLine.from_events(matched),
-        sender_counts=sender_counts,
-        sender_min_clocks=sender_min_clocks,
-        boundary_exceptions=exceptions,
-        sender_sequence=tuple(ev.rank for ev in matched)
-        if replay_assist
-        else None,
-    )
+    with span("cdc.encode_chunk", callsite=table.callsite, events=len(matched)):
+        encoded = _encode_matched_batch(matched, prior_ceilings)
+        if encoded is None:
+            encoded = _encode_matched_scalar(matched, prior_ceilings)
+        observed_indices, sender_counts, sender_min_clocks, exceptions = encoded
+        chunk = CDCChunk(
+            callsite=table.callsite,
+            num_events=len(matched),
+            # both index paths construct a valid permutation (inverse argsort /
+            # unique-key lookup), so the O(n) re-validation is skipped
+            diff=encode_permutation(observed_indices, validated=True),
+            with_next_indices=table.with_next_indices,
+            unmatched_runs=table.unmatched_runs,
+            epoch=EpochLine.from_events(matched),
+            sender_counts=sender_counts,
+            sender_min_clocks=sender_min_clocks,
+            boundary_exceptions=exceptions,
+            sender_sequence=tuple(ev.rank for ev in matched)
+            if replay_assist
+            else None,
+        )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("encode.chunks").add()
+        registry.counter("encode.events").add(len(matched))
+        registry.counter("encode.moved_events").add(chunk.diff.num_moved)
+    return chunk
 
 
 def _encode_matched_batch(
@@ -305,11 +313,19 @@ def reconstruct_observed_order(
             f"chunk {chunk.callsite!r} expects {chunk.num_events} receives, "
             f"got {len(received)}"
         )
-    keys = {ev.key for ev in received}
-    if len(keys) != len(received):
-        raise DecodingError("duplicate (clock, rank) identifiers in chunk receives")
-    ref = reference_order(received)
-    return apply_permutation(chunk.diff, ref)
+    with span("cdc.decode_chunk", callsite=chunk.callsite, events=len(received)):
+        keys = {ev.key for ev in received}
+        if len(keys) != len(received):
+            raise DecodingError(
+                "duplicate (clock, rank) identifiers in chunk receives"
+            )
+        ref = reference_order(received)
+        observed = apply_permutation(chunk.diff, ref)
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("decode.chunks").add()
+        registry.counter("decode.events").add(len(received))
+    return observed
 
 
 def reconstruct_table(chunk: CDCChunk, received: Sequence[ReceiveEvent]) -> RecordTable:

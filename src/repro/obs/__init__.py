@@ -1,0 +1,82 @@
+"""repro.obs — run telemetry: counters, gauges, histograms, span tracing.
+
+The observability layer the rest of the pipeline reports into. Everything
+funnels through one process-local registry (:func:`get_registry`), off by
+default: enable it per process with ``REPRO_TELEMETRY=1``, per run with
+``RecordSession(telemetry=True)`` / ``ReplaySession(telemetry=True)``, or
+explicitly with :func:`use_registry`. When disabled, every entry point is
+a shared no-op — instrumented hot paths pay a pointer compare, not an
+allocation.
+
+Typical use::
+
+    from repro.obs import TelemetryRegistry, use_registry, span
+
+    reg = TelemetryRegistry()
+    with use_registry(reg):
+        with span("my.stage", items=n):
+            ...
+        reg.counter("my.count").add(n)
+
+    from repro.obs import write_chrome_trace, write_metrics_jsonl
+    write_chrome_trace(reg, "trace.json")     # chrome://tracing / Perfetto
+    write_metrics_jsonl(reg, "metrics.jsonl")
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    metrics_lines,
+    validate_chrome_trace,
+    validate_metrics_lines,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from repro.obs.registry import (
+    COUNTER_MAX,
+    HISTOGRAM_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NULL_REGISTRY,
+    NullRegistry,
+    TelemetryRegistry,
+    TraceEvent,
+    env_enabled,
+    get_registry,
+    resolve_registry,
+    set_registry,
+    telemetry_enabled,
+    use_registry,
+)
+from repro.obs.spans import NOOP_SPAN, Span, event, span
+from repro.obs.stats import RunStats, build_run_stats
+
+__all__ = [
+    "COUNTER_MAX",
+    "HISTOGRAM_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NOOP_SPAN",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "RunStats",
+    "Span",
+    "TelemetryRegistry",
+    "TraceEvent",
+    "build_run_stats",
+    "chrome_trace",
+    "env_enabled",
+    "event",
+    "get_registry",
+    "metrics_lines",
+    "resolve_registry",
+    "set_registry",
+    "span",
+    "telemetry_enabled",
+    "use_registry",
+    "validate_chrome_trace",
+    "validate_metrics_lines",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import SimulationError
+from repro.obs import get_registry
 
 
 class SPSCQueue:
@@ -41,6 +42,9 @@ class SPSCQueue:
     def try_enqueue(self, item: Any) -> bool:
         """Producer side: returns False when the queue is full."""
         if len(self._items) >= self.capacity:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("queue.full_rejections").add()
             return False
         self._items.append(item)
         self.enqueued += 1
@@ -102,8 +106,15 @@ class FluidQueueModel:
             self.occupancy = float(self.capacity)
             self.last_time = now + stall
             self.total_stall += stall
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("queue.enqueue_stalls").add()
+                registry.histogram("queue.stall_us").observe(int(stall * 1e6))
         if self.occupancy > self.max_occupancy:
             self.max_occupancy = self.occupancy
+            registry = get_registry()
+            if registry.enabled:
+                registry.gauge("queue.occupancy_high_water").set_max(self.occupancy)
         return stall
 
     def drain_completely(self, now: float) -> float:

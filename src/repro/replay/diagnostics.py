@@ -9,8 +9,10 @@ to its error, and that tooling can render for humans.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any, Mapping
 
+from repro.obs import get_registry
 from repro.replay.replayer import CallsiteReplayState, ReplayController, _Peek
 from repro.sim.engine import Engine
 
@@ -76,6 +78,9 @@ class ReplayReport:
     """Whole-job replay snapshot."""
 
     ranks: tuple[RankReport, ...]
+    #: registry snapshot taken with the report (empty when telemetry is off):
+    #: queue/replay/store counters, gauge high-waters, staleness.
+    telemetry: Mapping[str, Any] = field(default_factory=dict)
 
     @property
     def stuck_ranks(self) -> list[int]:
@@ -90,7 +95,51 @@ class ReplayReport:
                     lines.append(f"  {cs.describe()}")
         if len(self.ranks) > max_ranks:
             lines.append(f"... and {len(self.ranks) - max_ranks} more ranks")
+        if self.telemetry:
+            lines.append("telemetry:")
+            for key, value in sorted(self.telemetry.items()):
+                if isinstance(value, dict):
+                    for name, v in sorted(value.items()):
+                        lines.append(f"  {key}.{name} = {v}")
+                else:
+                    lines.append(f"  {key} = {value}")
         return "\n".join(lines)
+
+
+#: counter/gauge name prefixes worth carrying into a stuck-replay report.
+_TELEMETRY_PREFIXES = ("queue.", "replay.", "store.", "record.")
+
+
+def telemetry_snapshot() -> dict[str, Any]:
+    """Condense the active registry into report-sized key/values.
+
+    Empty when telemetry is disabled. Includes the pipeline counters that
+    explain a stuck replay (queue depths, pooled/delivered events, store
+    flush activity) and how stale the trace is — the wall seconds since the
+    last span completed, which distinguishes "still grinding" from "hung".
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        return {}
+    counters = {
+        name: value
+        for name, value in registry.counters().items()
+        if name.startswith(_TELEMETRY_PREFIXES)
+    }
+    gauges = {
+        name: value
+        for name, value in registry.gauges().items()
+        if name.startswith(_TELEMETRY_PREFIXES)
+    }
+    return {
+        "counters": counters,
+        "gauges": gauges,
+        "span_events": len(registry.events),
+        "dropped_events": registry.dropped_events,
+        "seconds_since_last_event": round(
+            registry.seconds_since_last_event(), 3
+        ),
+    }
 
 
 def _callsite_report(state: CallsiteReplayState, status: str) -> CallsiteReport:
@@ -134,4 +183,4 @@ def replay_report(engine: Engine, controller: ReplayController) -> ReplayReport:
                 callsites=tuple(sorted(callsites, key=lambda c: c.callsite)),
             )
         )
-    return ReplayReport(tuple(ranks))
+    return ReplayReport(tuple(ranks), telemetry=telemetry_snapshot())

@@ -51,6 +51,7 @@ from repro.core.compression import ZLIB_LEVEL
 from repro.core.formats import deserialize_cdc_chunks, serialize_cdc_chunks
 from repro.core.pipeline import CDCChunk
 from repro.errors import ArchiveCorruptionError, RecordFormatError
+from repro.obs import get_registry, span
 from repro.replay.chunk_store import RecordArchive
 
 __all__ = [
@@ -115,9 +116,17 @@ def _retry_io(fn: Callable[[], object], policy: RetryPolicy):
             if exc.errno not in RETRYABLE_ERRNOS:
                 raise
             last = exc
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("store.io_retries").add()
             if attempt + 1 < max(1, policy.attempts):
                 delay = policy.delay(attempt)
                 if delay > 0:
+                    if registry.enabled:
+                        registry.counter("store.backoff_sleeps").add()
+                        registry.histogram("store.backoff_us").observe(
+                            int(delay * 1e6)
+                        )
                     time.sleep(delay)
     assert last is not None
     raise last
@@ -222,6 +231,9 @@ def _epoch_context(chunk: CDCChunk | None) -> str:
 
 def _fsync_fh(fh: IO[bytes]) -> None:
     fh.flush()
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("store.fsyncs").add()
     try:
         os.fsync(fh.fileno())
     except (OSError, ValueError):  # pragma: no cover - fs without fsync
@@ -311,8 +323,20 @@ class _RankFrameWriter:
 
     def append(self, chunk: CDCChunk) -> None:
         assert self._fh is not None, "writer already closed"
-        self._write_at(self._fh.tell(), frame_bytes(chunk))
+        registry = get_registry()
+        if not registry.enabled:
+            self._write_at(self._fh.tell(), frame_bytes(chunk))
+            self.frames += 1
+            return
+        t0 = time.perf_counter_ns()
+        frame = frame_bytes(chunk)
+        self._write_at(self._fh.tell(), frame)
         self.frames += 1
+        registry.counter("store.frames").add()
+        registry.counter("store.bytes").add(len(frame))
+        registry.histogram("store.flush_us").observe(
+            (time.perf_counter_ns() - t0) // 1000
+        )
 
     def close(self) -> None:
         if self._fh is not None:
@@ -570,6 +594,27 @@ def load_archive(
     """
     if mode not in ("strict", "salvage"):
         raise ValueError(f"mode must be 'strict' or 'salvage', got {mode!r}")
+    registry = get_registry()
+    if not registry.enabled:
+        return _load_archive(directory, mode, opener)
+    with span("store.load_archive", directory=directory, mode=mode) as sp:
+        archive, report = _load_archive(directory, mode, opener)
+        sp.set(clean=report.clean, ranks=len(report.ranks))
+    registry.counter("store.loads").add()
+    registry.counter("store.frames_kept").add(
+        sum(r.frames_kept for r in report.ranks.values())
+    )
+    registry.counter("store.bytes_dropped").add(report.total_bytes_dropped())
+    if not report.clean:
+        registry.counter("store.salvaged_loads").add()
+    return archive, report
+
+
+def _load_archive(
+    directory: str,
+    mode: str,
+    opener: Opener,
+) -> tuple[RecordArchive, RecoveryReport]:
     strict = mode == "strict"
     report = RecoveryReport(directory=directory)
 

@@ -24,12 +24,15 @@ release the GIL, and chunk objects never cross a pickle boundary.
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Mapping, Sequence
 
 from repro.core.epoch import EpochLine
 from repro.core.pipeline import CDCChunk, encode_chunk
 from repro.core.record_table import RecordTable
+from repro.obs import get_registry
 
 __all__ = [
     "ParallelChunkEncoder",
@@ -65,6 +68,11 @@ class ParallelChunkEncoder:
             max_workers=workers, thread_name_prefix="cdc-encode"
         )
         self._pending: list[Future[CDCChunk]] = []
+        #: per worker thread-id: cumulative busy ns (telemetry-enabled runs
+        #: only — the disabled path submits ``encode_chunk`` untimed).
+        self._busy_ns: dict[int, int] = {}
+        self._busy_lock = threading.Lock()
+        self._created_ns = time.perf_counter_ns()
 
     def submit(
         self,
@@ -74,11 +82,55 @@ class ParallelChunkEncoder:
     ) -> Future[CDCChunk]:
         """Queue one table for encoding; ceilings are copied immediately."""
         snapshot = dict(prior_ceilings) if prior_ceilings else None
-        future = self._pool.submit(
-            encode_chunk, table, replay_assist=replay_assist, prior_ceilings=snapshot
-        )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("encoder.tasks_submitted").add()
+            future = self._pool.submit(
+                self._encode_timed, table, replay_assist, snapshot
+            )
+        else:
+            future = self._pool.submit(
+                encode_chunk,
+                table,
+                replay_assist=replay_assist,
+                prior_ceilings=snapshot,
+            )
         self._pending.append(future)
         return future
+
+    def _encode_timed(
+        self,
+        table: RecordTable,
+        replay_assist: bool,
+        snapshot: dict[int, int] | None,
+    ) -> CDCChunk:
+        t0 = time.perf_counter_ns()
+        try:
+            return encode_chunk(
+                table, replay_assist=replay_assist, prior_ceilings=snapshot
+            )
+        finally:
+            busy = time.perf_counter_ns() - t0
+            tid = threading.get_ident()
+            with self._busy_lock:
+                self._busy_ns[tid] = self._busy_ns.get(tid, 0) + busy
+            registry = get_registry()
+            if registry.enabled:
+                registry.histogram("encoder.task_us").observe(busy // 1000)
+
+    def worker_utilization(self) -> dict[int, float]:
+        """Busy fraction per worker since the pool was created.
+
+        Keys are dense worker indexes (0..n-1) in thread-id order. Only
+        workers that ran at least one timed task appear; untimed (telemetry
+        disabled) tasks are not tracked.
+        """
+        wall = time.perf_counter_ns() - self._created_ns
+        if wall <= 0:
+            return {}
+        with self._busy_lock:
+            busy = sorted(self._busy_ns.items())
+        return {i: ns / wall for i, (_tid, ns) in enumerate(busy)}
 
     def drain(self) -> list[CDCChunk]:
         """Collect all completed chunks in submission order."""
@@ -91,6 +143,12 @@ class ParallelChunkEncoder:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
+        registry = get_registry()
+        if registry.enabled:
+            for worker, fraction in self.worker_utilization().items():
+                registry.gauge(f"encoder.worker{worker}.utilization").set(
+                    round(fraction, 4)
+                )
 
     def __enter__(self) -> "ParallelChunkEncoder":
         return self

@@ -27,7 +27,7 @@ from repro.core.compression import ZLIB_LEVEL
 from repro.core.events import MFOutcome, outcomes_to_rows
 from repro.core.formats import serialize_raw_rows
 from repro.core.pipeline import encode_chunk
-from repro.core.record_table import RecordTableBuilder
+from repro.core.record_table import RecordTable, RecordTableBuilder
 from repro.replay.chunk_store import RecordArchive
 from repro.replay.durable_store import DurableArchiveWriter
 from repro.replay.parallel_encoder import ParallelChunkEncoder, advance_ceilings
@@ -37,6 +37,7 @@ from repro.replay.cost_model import (
     cdc_cost_model,
     gzip_cost_model,
 )
+from repro.obs import get_registry, span
 from repro.sim.network import payload_nbytes
 from repro.sim.pmpi import MFController
 from repro.sim.process import MFCall, MFResult, SimProcess
@@ -140,18 +141,41 @@ class RecordingController(MFController):
                 if builder.dirty:
                     self._flush(rank, builder)
         if self._encoder is not None:
-            chunks = self._encoder.drain()
+            with span("record.drain", inflight=len(self._inflight)):
+                chunks = self._encoder.drain()
             for rank, chunk in zip(self._inflight, chunks):
                 self.archive.append(rank, chunk)
                 if self.store is not None:
                     self.store.append(rank, chunk)
             self._inflight.clear()
             self._encoder.close()
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("record.payload_bytes").add(self.data_replay_bytes())
+            total_stall = 0.0
+            for _, (stall, occupancy) in self.queue_stats().items():
+                total_stall += stall
+                registry.gauge("record.queue_occupancy_max").set_max(occupancy)
+            registry.gauge("record.queue_stall_seconds").set(total_stall)
 
     def _flush(self, rank: int, builder: RecordTableBuilder) -> None:
         table = builder.flush()
         if not (table.num_events or table.unmatched_runs):
             return
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("record.flushes").add()
+            with span(
+                "record.flush",
+                rank=rank,
+                callsite=table.callsite,
+                events=table.num_events,
+            ):
+                self._flush_table(rank, table)
+            return
+        self._flush_table(rank, table)
+
+    def _flush_table(self, rank: int, table: RecordTable) -> None:
         ceilings = self.ranks[rank].ceilings.setdefault(table.callsite, {})
         if self._encoder is not None:
             # parallel path: snapshot the ceilings into the task, advance

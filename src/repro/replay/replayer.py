@@ -48,6 +48,7 @@ from repro.core.events import MFKind, ReceiveEvent
 from repro.core.permutation import decode_permutation
 from repro.core.pipeline import CDCChunk, assist_occurrence_indices
 from repro.errors import RecordExhausted, ReplayDivergence
+from repro.obs import get_registry
 from repro.replay.chunk_store import RecordArchive
 from repro.sim.datatypes import ANY_SOURCE, ANY_TAG, Message, Request, RequestState
 from repro.sim.pmpi import MFController
@@ -145,6 +146,9 @@ class CallsiteReplayState:
     #: quota and epoch would accept them (DESIGN.md §5.2).
     claimed_later: set[tuple[int, int]] = field(default_factory=set)
     delivered_events: int = 0
+    #: virtual time at which this callsite first reported BLOCKED since its
+    #: last delivery (telemetry: per-callsite replay wait time).
+    blocked_since: float | None = None
 
     def __post_init__(self) -> None:
         for chunk in self.pending_chunks:
@@ -226,6 +230,10 @@ class CallsiteReplayState:
         self.last_clock_by_sender[event.rank] = event.clock
         if self.global_floor.get(event.rank, -1) < event.clock:
             self.global_floor[event.rank] = event.clock
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("replay.pooled_events").add()
+            registry.gauge("replay.pool_occupancy").set_max(len(self.pool))
 
     # -- certainty / LMC ------------------------------------------------------------
 
@@ -388,6 +396,15 @@ class ReplayController(MFController):
         kind, events = state.peek()
         sends = undelivered_sends(call.requests)
         if kind is _Peek.BLOCKED:
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("replay.blocked_polls").add()
+                if state.blocked_since is None:
+                    # engine time, not proc.time: a parked rank's local
+                    # clock freezes until it resumes.
+                    state.blocked_since = (
+                        self.engine.now if self.engine is not None else proc.time
+                    )
             return None
         if kind is _Peek.EXHAUSTED:
             raise RecordExhausted(proc.rank, call.callsite)
@@ -406,6 +423,16 @@ class ReplayController(MFController):
         assignment = self._assign_slots(proc, call, state, events)
         if assignment is None:
             return None  # a compatible slot is not available yet
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("replay.delivered_events").add(len(events))
+            if state.blocked_since is not None:
+                now = self.engine.now if self.engine is not None else proc.time
+                wait = max(0.0, now - state.blocked_since)
+                state.blocked_since = None
+                registry.histogram(
+                    f"replay.wait_us[{state.callsite}]"
+                ).observe(int(wait * 1e6))
         messages = state.consume_group(events)
         delivery: list[Request] = []
         for slot, msg in zip(assignment, messages):

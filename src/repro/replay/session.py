@@ -17,11 +17,21 @@ session owns engine construction, controller wiring, and result capture.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.events import MFOutcome
 from repro.errors import RecordExhausted, SimulationError
+from repro.obs import (
+    NullRegistry,
+    RunStats,
+    TelemetryRegistry,
+    build_run_stats,
+    resolve_registry,
+    span,
+    use_registry,
+)
 from repro.replay.chunk_store import RecordArchive
 from repro.replay.cost_model import RecordingCostModel
 from repro.replay.durable_store import (
@@ -63,6 +73,11 @@ class RunResult:
     #: salvage-mode replay only: (rank, callsite) where the record ran out,
     #: if the replayed program wanted more events than the record holds.
     truncated_at: tuple[int, str] | None = None
+    #: telemetry rollup, populated when the session ran with telemetry on.
+    run_stats: RunStats | None = None
+    #: the registry the run reported into (NULL_REGISTRY when disabled) —
+    #: what ``repro trace`` exports after the run.
+    registry: TelemetryRegistry | NullRegistry | None = None
 
     @property
     def truncated(self) -> bool:
@@ -92,12 +107,18 @@ class _Session:
         network_seed: int = 0,
         latency: LatencyModel | None = None,
         engine_kwargs: Mapping[str, Any] | None = None,
+        telemetry: Any = None,
     ) -> None:
         self.program = program
         self.nprocs = nprocs
         self.network_seed = network_seed
         self.latency = latency if latency is not None else LatencyModel()
         self.engine_kwargs = dict(engine_kwargs or {})
+        #: ``telemetry``: None = process default (``REPRO_TELEMETRY``),
+        #: True = fresh private registry, False = force off, or pass a
+        #: :class:`~repro.obs.TelemetryRegistry` to share one across runs.
+        self.registry = resolve_registry(telemetry)
+        self._wall_seconds = 0.0
 
     def _run(self, controller: MFController, mode: str) -> RunResult:
         network = Network(seed=self.network_seed, latency=self.latency)
@@ -109,11 +130,42 @@ class _Session:
             **self.engine_kwargs,
         )
         self._engine = engine  # kept for post-mortem diagnostics
-        stats = engine.run()
+        t0 = time.perf_counter()
+        try:
+            with use_registry(self.registry):
+                with span(f"session.{mode}", nprocs=self.nprocs) as sp:
+                    stats = engine.run()
+                    sp.set(events=stats.total_events)
+        finally:
+            self._wall_seconds = time.perf_counter() - t0
         result = RunResult(mode=mode, nprocs=self.nprocs, stats=stats)
         result.app_results = {p.rank: p.result for p in engine.procs}
         result.final_clocks = {p.rank: p.clock.value for p in engine.procs}
         result.controller = controller
+        return result
+
+    def _attach_stats(self, result: RunResult) -> RunResult:
+        """Stamp the run's telemetry rollup onto its result."""
+        result.registry = self.registry
+        if not self.registry.enabled:
+            return result
+        chunks = stored_bytes = 0
+        if result.archive is not None:
+            chunks = sum(
+                len(result.archive.chunks(r)) for r in range(result.archive.nprocs)
+            )
+            with use_registry(self.registry):  # size accounting serializes
+                stored_bytes = result.archive.total_bytes()
+        result.run_stats = build_run_stats(
+            self.registry,
+            mode=result.mode,
+            nprocs=result.nprocs,
+            wall_seconds=self._wall_seconds,
+            virtual_seconds=result.stats.virtual_time,
+            receive_events=result.total_receive_events(),
+            chunks=chunks,
+            stored_bytes=stored_bytes,
+        )
         return result
 
 
@@ -121,7 +173,7 @@ class BaselineSession(_Session):
     """Run without any recording (the 'MCB w/o Recording' configuration)."""
 
     def run(self) -> RunResult:
-        return self._run(MFController(), "baseline")
+        return self._attach_stats(self._run(MFController(), "baseline"))
 
 
 class RecordSession(_Session):
@@ -145,8 +197,11 @@ class RecordSession(_Session):
         store_fsync: bool = True,
         store_retry: RetryPolicy | None = None,
         meta: Mapping[str, Any] | None = None,
+        telemetry: Any = None,
     ) -> None:
-        super().__init__(program, nprocs, network_seed, latency, engine_kwargs)
+        super().__init__(
+            program, nprocs, network_seed, latency, engine_kwargs, telemetry
+        )
         self.chunk_events = chunk_events
         self.cost_model = cost_model
         self.keep_outcomes = keep_outcomes
@@ -190,13 +245,14 @@ class RecordSession(_Session):
                 writer.abort()
             raise
         if writer is not None:
-            writer.close(controller.archive.meta)
+            with use_registry(self.registry):  # manifest commit + fsyncs
+                writer.close(controller.archive.meta)
         result.archive = controller.archive
         if self.keep_outcomes or self.gzip_baseline:
             result.outcomes = {
                 r: controller.outcomes_of(r) for r in range(self.nprocs)
             }
-        return result
+        return self._attach_stats(result)
 
 
 class ReplaySession(_Session):
@@ -228,14 +284,19 @@ class ReplaySession(_Session):
         latency: LatencyModel | None = None,
         engine_kwargs: Mapping[str, Any] | None = None,
         mode: str = "strict",
+        telemetry: Any = None,
     ) -> None:
         if mode not in ("strict", "salvage"):
             raise ValueError(f"mode must be 'strict' or 'salvage', got {mode!r}")
         self.mode = mode
         self.recovery: RecoveryReport | None = None
+        registry = resolve_registry(telemetry)
         if isinstance(archive, str):
-            archive, self.recovery = load_archive(archive, mode=mode)
-        super().__init__(program, archive.nprocs, network_seed, latency, engine_kwargs)
+            with use_registry(registry):
+                archive, self.recovery = load_archive(archive, mode=mode)
+        super().__init__(
+            program, archive.nprocs, network_seed, latency, engine_kwargs, registry
+        )
         self.archive = archive
         self.delivery_mode = delivery_mode
 
@@ -262,13 +323,14 @@ class ReplaySession(_Session):
             result.outcomes = dict(controller.outcomes)
             result.archive = self.archive
             result.recovery = self.recovery
-            return result
+            return self._attach_stats(result)
         except SimulationError as exc:
             # attach a structured post-mortem so the user sees *why*
             from repro.errors import ReplayDivergence
             from repro.replay.diagnostics import replay_report
 
-            report = replay_report(self._engine, controller)
+            with use_registry(self.registry):
+                report = replay_report(self._engine, controller)
             raise ReplayDivergence(
                 report.stuck_ranks[0] if report.stuck_ranks else -1,
                 f"{exc}\n{report.render()}",
@@ -283,7 +345,7 @@ class ReplaySession(_Session):
             raise SimulationError(
                 f"replay finished with undelivered recorded events: {leftovers}"
             )
-        return result
+        return self._attach_stats(result)
 
 
 def assert_replay_matches(record: RunResult, replay: RunResult) -> None:

@@ -22,9 +22,11 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import Callable, Sequence
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs import get_registry, span
 from repro.sim.datatypes import Message, Request, RequestState
 from repro.sim.network import Network, payload_nbytes
 from repro.sim.pmpi import MFController
@@ -138,15 +140,42 @@ class Engine:
 
     # -- main loop -----------------------------------------------------------
 
+    #: events per sampled step-timing block (``sim.step_block_us``).
+    STEP_SAMPLE_EVENTS = 1024
+
     def run(self) -> SimStats:
         """Execute until every rank's program returns."""
+        registry = get_registry()
+        if not registry.enabled:
+            return self._run_loop()
+        with span("sim.run", nprocs=self.nprocs) as sp:
+            stats = self._run_loop()
+            sp.set(events=stats.total_events, virtual_time=stats.virtual_time)
+        registry.counter("sim.events").add(stats.total_events)
+        registry.counter("sim.messages").add(stats.total_messages)
+        registry.counter("sim.mf_calls").add(stats.total_mf_calls)
+        return stats
+
+    def _run_loop(self) -> SimStats:
         for proc in self.procs:
             proc.start(self)
             self._push(0.0, _RESUME, (proc, None))
         remaining = self.nprocs
 
+        registry = get_registry()
+        track = registry.enabled
+        if track:
+            # sampled step timing: wall time per STEP_SAMPLE_EVENTS-event
+            # block, so the histogram costs ~nothing per event.
+            step_hist = registry.histogram("sim.step_block_us")
+            block_t0 = perf_counter_ns()
+
         while self._heap and remaining:
             self.stats.total_events += 1
+            if track and self.stats.total_events % self.STEP_SAMPLE_EVENTS == 0:
+                now_ns = perf_counter_ns()
+                step_hist.observe((now_ns - block_t0) // 1000)
+                block_t0 = now_ns
             if self.stats.total_events > self.max_events:
                 raise SimulationError(
                     f"exceeded {self.max_events} events; likely livelock"

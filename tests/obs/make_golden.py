@@ -1,0 +1,21 @@
+"""Regenerate ``golden_trace.json`` after an intentional exporter change.
+
+Usage::
+
+    PYTHONPATH=src:tests python tests/obs/make_golden.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from test_export import GOLDEN_PATH, golden_registry  # noqa: E402
+
+from repro.obs import write_chrome_trace  # noqa: E402
+
+if __name__ == "__main__":
+    n = write_chrome_trace(golden_registry(), GOLDEN_PATH, pid=1234)
+    print(f"wrote {GOLDEN_PATH} ({n} trace events)")

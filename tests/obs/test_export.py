@@ -1,0 +1,193 @@
+"""Exporter tests: metrics JSONL, Chrome trace JSON, and both validators.
+
+The Chrome-trace test is a golden-file test: a registry driven by a fake
+deterministic clock must serialize to exactly ``golden_trace.json``. If an
+exporter change is intentional, regenerate with::
+
+    PYTHONPATH=src python tests/obs/make_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    TelemetryRegistry,
+    chrome_trace,
+    event,
+    metrics_lines,
+    span,
+    use_registry,
+    validate_chrome_trace,
+    validate_metrics_lines,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden_trace.json")
+
+
+def make_clock(step: int = 1_000):
+    state = {"t": 0}
+
+    def clock() -> int:
+        state["t"] += step
+        return state["t"]
+
+    return clock
+
+
+def golden_registry() -> TelemetryRegistry:
+    """The fixed scenario behind ``golden_trace.json``.
+
+    Clock ticks 1 µs per reading, so every timestamp below is exact:
+    registry t0 = 1 µs, outer span [2, 5], inner span [3, 4], instant
+    marker at 6 — i.e. relative µs 1.0/3.0, 2.0/1.0, and 5.0.
+    """
+    reg = TelemetryRegistry(name="golden", clock=make_clock())
+    with use_registry(reg):
+        with span("record.flush", rank=0):
+            with span("compress", method="CDC"):
+                pass
+        event("store.commit", frames=3)
+    reg.counter("sim.events").add(128)
+    reg.counter("record.flushes").add(2)
+    reg.gauge("queue.occupancy_high_water").set_max(7)
+    reg.histogram("encoder.task_us").observe(12)
+    return reg
+
+
+class TestChromeTraceGolden:
+    def test_matches_golden_file(self):
+        trace = chrome_trace(golden_registry(), pid=1234)
+        with open(GOLDEN_PATH, encoding="utf-8") as fh:
+            golden = json.load(fh)
+        assert trace == golden
+
+    def test_write_round_trips_through_json(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        n = write_chrome_trace(golden_registry(), path, pid=1234)
+        with open(path, encoding="utf-8") as fh:
+            loaded = json.load(fh)
+        assert len(loaded["traceEvents"]) == n
+        with open(GOLDEN_PATH, encoding="utf-8") as fh:
+            assert loaded == json.load(fh)
+
+    def test_golden_is_valid_and_monotone(self):
+        trace = chrome_trace(golden_registry(), pid=1234)
+        assert validate_chrome_trace(trace) == []
+        timed = [ev for ev in trace["traceEvents"] if ev["ph"] != "M"]
+        timestamps = [ev["ts"] for ev in timed]
+        assert timestamps == sorted(timestamps)
+
+    def test_golden_shape(self):
+        trace = chrome_trace(golden_registry(), pid=1234)
+        events = trace["traceEvents"]
+        phases = [ev["ph"] for ev in events]
+        # process_name + one thread, two X spans, one instant, two counters
+        assert phases.count("M") == 2
+        assert phases.count("X") == 2
+        assert phases.count("i") == 1
+        assert phases.count("C") == 2
+        by_name = {ev["name"]: ev for ev in events if ev["ph"] == "X"}
+        assert by_name["record.flush"]["ts"] == 1.0
+        assert by_name["record.flush"]["dur"] == 3.0
+        assert by_name["compress"]["ts"] == 2.0
+        assert by_name["compress"]["dur"] == 1.0
+        assert by_name["compress"]["args"] == {"method": "CDC"}
+        assert trace["otherData"]["registry"] == "golden"
+
+
+class TestChromeTraceValidator:
+    def test_rejects_non_object(self):
+        assert validate_chrome_trace([]) != []
+
+    def test_rejects_missing_envelope(self):
+        assert validate_chrome_trace({"events": []}) == [
+            "traceEvents missing or not a list"
+        ]
+
+    def test_rejects_bad_phase(self):
+        trace = {"traceEvents": [{"name": "x", "ph": "Z", "ts": 0, "pid": 1, "tid": 0}]}
+        assert any("bad phase" in p for p in validate_chrome_trace(trace))
+
+    def test_rejects_backwards_timestamps(self):
+        trace = {
+            "traceEvents": [
+                {"name": "a", "ph": "i", "ts": 5.0, "pid": 1, "tid": 0},
+                {"name": "b", "ph": "i", "ts": 2.0, "pid": 1, "tid": 0},
+            ]
+        }
+        assert any("goes backwards" in p for p in validate_chrome_trace(trace))
+
+    def test_rejects_missing_name_and_negative_dur(self):
+        trace = {
+            "traceEvents": [
+                {"ph": "X", "ts": 0, "dur": -1, "pid": 1, "tid": 0},
+            ]
+        }
+        problems = validate_chrome_trace(trace)
+        assert any("missing name" in p for p in problems)
+        assert any("bad dur" in p for p in problems)
+
+    def test_metadata_needs_no_timestamp(self):
+        trace = {
+            "traceEvents": [
+                {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "args": {}},
+            ]
+        }
+        assert validate_chrome_trace(trace) == []
+
+
+class TestMetricsJsonl:
+    def test_lines_are_valid(self):
+        lines = metrics_lines(golden_registry())
+        assert validate_metrics_lines(lines) == []
+        meta = json.loads(lines[0])
+        assert meta["type"] == "meta"
+        assert meta["registry"] == "golden"
+        assert meta["trace_events"] == 3
+
+    def test_one_line_per_instrument_sorted(self):
+        lines = metrics_lines(golden_registry())
+        names = [json.loads(l)["name"] for l in lines[1:]]
+        assert names == sorted(names)
+        assert len(names) == 4
+
+    def test_write_metrics_jsonl(self, tmp_path):
+        path = str(tmp_path / "m.jsonl")
+        n = write_metrics_jsonl(golden_registry(), path)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == n
+        assert validate_metrics_lines(lines) == []
+
+    @pytest.mark.parametrize(
+        "lines,fragment",
+        [
+            (["not json"], "not JSON"),
+            (['{"type": "meta", "registry": "r", "enabled": true}', "[1, 2]"], "expected object"),
+            (['{"type": "meta", "registry": "r", "enabled": true}', '{"type": "bogus"}'], "unknown type"),
+            (['{"type": "counter", "name": "x", "value": 1}'], "no meta line"),
+            (
+                [
+                    '{"type": "meta", "registry": "r", "enabled": true}',
+                    '{"type": "counter", "name": "x", "value": 1.5}',
+                ],
+                "must be an int",
+            ),
+            (
+                [
+                    '{"type": "meta", "registry": "r", "enabled": true}',
+                    '{"type": "histogram", "name": "h", "count": 1, "total": 2, "buckets": {"x": 1}}',
+                ],
+                "buckets malformed",
+            ),
+        ],
+    )
+    def test_validator_catches_breakage(self, lines, fragment):
+        problems = validate_metrics_lines(lines)
+        assert any(fragment in p for p in problems)

@@ -192,3 +192,66 @@ class TestTraceExportAndTranscode:
         program, _ = make_workload("synthetic", 4, messages_per_rank="5")
         rerun = RecordSession(program, nprocs=4, network_seed=8).run()
         assert read_trace(trace) == rerun.outcomes
+
+
+class TestStats:
+    def test_stats_tables(self, record_dir, capsys):
+        assert main(["stats", record_dir]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank storage" in out
+        assert "compression stages" in out
+        assert "CDC table breakdown" in out
+        assert "permutation rates per callsite" in out
+        assert "gzip contributes" in out
+
+    def test_stats_rank_truncation(self, record_dir, capsys):
+        assert main(["stats", record_dir, "--ranks", "2"]) == 0
+        assert "…" in capsys.readouterr().out
+
+    def test_stats_per_chunk_table(self, record_dir, capsys):
+        assert main(["stats", record_dir, "--chunks"]) == 0
+        out = capsys.readouterr().out
+        assert "per-chunk breakdown" in out
+
+
+class TestReplayVerbose:
+    def test_verbose_prints_run_stats(self, record_dir, capsys):
+        code = main(["replay", "--record", record_dir, "--verbose"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run stats [replay]" in out
+        assert "receive events" in out
+        assert "span events" in out
+
+    def test_quiet_replay_has_no_run_stats(self, record_dir, capsys):
+        assert main(["replay", "--record", record_dir]) == 0
+        assert "run stats" not in capsys.readouterr().out
+
+
+class TestTraceTelemetry:
+    def test_trace_exports_valid_artifacts(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace, validate_metrics_lines
+
+        trace = str(tmp_path / "trace.json")
+        metrics = str(tmp_path / "metrics.jsonl")
+        code = main(
+            [
+                "trace", "--workload", "synthetic", "--nprocs", "4",
+                "-p", "messages_per_rank=5",
+                "--out", trace, "--metrics-out", metrics, "--replay",
+            ]
+        )
+        assert code == 0
+        with open(trace, encoding="utf-8") as fh:
+            obj = json.load(fh)
+        assert validate_chrome_trace(obj) == []
+        names = {ev["name"] for ev in obj["traceEvents"]}
+        assert "session.record" in names
+        assert "session.replay" in names
+        with open(metrics, encoding="utf-8") as fh:
+            assert validate_metrics_lines(fh.read().splitlines()) == []
+        out = capsys.readouterr().out
+        assert "perfetto" in out.lower()
+        assert "run stats [record]" in out
