@@ -1,0 +1,234 @@
+"""Observability overhead: flow correlation, watchdog, encoder guard.
+
+Measures what ISSUE 4's tentpole costs when it is on — and proves it
+costs nothing when it is off:
+
+* flow-correlation overhead — a record+replay pair with
+  :class:`~repro.obs.FlowRecorder` attached vs the same pair bare;
+* watchdog overhead — a polling progress watchdog on a healthy run;
+* a sample merged timeline artifact (``benchmarks/output/``) that CI
+  uploads, validated before it is written;
+* a telemetry-off encoder throughput guard: >25% below the
+  ``BENCH_encoder.json`` record fails the suite (the observability layer
+  must not tax the hot path when disabled).
+
+Scalars land in ``BENCH_timeline.json`` at the repo root so later PRs can
+diff against them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+
+import pytest
+
+from benchmarks.conftest import emit, load_previous_bench
+from repro.analysis import render_table
+from repro.core import Method, compress
+from repro.core.events import MFKind, MFOutcome, ReceiveEvent
+from repro.obs import (
+    FlowRecorder,
+    WatchdogConfig,
+    merged_timeline,
+    validate_chrome_trace,
+    write_timeline,
+)
+from repro.replay import RecordSession, ReplaySession
+from repro.workloads import make_workload
+
+BENCH_TIMELINE_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_timeline.json",
+)
+
+NPROCS = 8
+
+
+@pytest.fixture(scope="session")
+def timeline_results():
+    """Collects observability perf numbers; written to BENCH_timeline.json."""
+    results: dict = {}
+    yield results
+    if results:
+        results["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        with open(BENCH_TIMELINE_JSON, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def make_program(messages_per_rank=40):
+    program, _ = make_workload(
+        "synthetic", NPROCS, seed="3",
+        messages_per_rank=str(messages_per_rank), fanout="2",
+    )
+    return program
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def record_replay(flow=False, watchdog=None):
+    program = make_program()
+    rec_flow = FlowRecorder("record") if flow else None
+    record = RecordSession(
+        program, nprocs=NPROCS, network_seed=1, keep_outcomes=False,
+        flow=rec_flow, watchdog=watchdog,
+    ).run()
+    rep_flow = FlowRecorder("replay") if flow else None
+    ReplaySession(
+        program, record.archive, network_seed=2,
+        flow=rep_flow, watchdog=watchdog,
+    ).run()
+    return rec_flow, rep_flow
+
+
+class TestFlowCorrelationOverhead:
+    def test_flow_recorder_overhead(self, timeline_results):
+        """Record+replay with flow capture vs bare, telemetry off in both."""
+        t_bare = _best_of(lambda: record_replay())
+        t_flow = _best_of(lambda: record_replay(flow=True))
+        ratio = t_flow / t_bare
+        timeline_results["flow_overhead_ratio"] = round(ratio, 3)
+        timeline_results["bare_record_replay_s"] = round(t_bare, 4)
+        emit(
+            "timeline_flow_overhead",
+            render_table(
+                "Causal flow capture overhead (record+replay pair)",
+                ["configuration", "wall time (s)"],
+                [
+                    ("telemetry off, no flow", f"{t_bare:.4f}"),
+                    ("flow recorders attached", f"{t_flow:.4f}"),
+                ],
+                note=f"overhead {100 * (ratio - 1):+.1f}% "
+                     "(append-only dataclass capture)",
+            ),
+        )
+        # capture is two list appends per event; anything past 2x is a bug
+        assert ratio < 2.0
+
+    def test_watchdog_overhead(self, timeline_results):
+        """A healthy run polled every 10 ms must not notice the watchdog."""
+        t_bare = _best_of(lambda: record_replay())
+        config = WatchdogConfig(deadline=300.0, poll_interval=0.01)
+        t_dog = _best_of(lambda: record_replay(watchdog=config))
+        ratio = t_dog / t_bare
+        timeline_results["watchdog_overhead_ratio"] = round(ratio, 3)
+        emit(
+            "timeline_watchdog_overhead",
+            render_table(
+                "Progress watchdog overhead (healthy record+replay pair)",
+                ["configuration", "wall time (s)"],
+                [
+                    ("no watchdog", f"{t_bare:.4f}"),
+                    ("watchdog, 10 ms poll", f"{t_dog:.4f}"),
+                ],
+                note="the watchdog thread reads one int per poll",
+            ),
+        )
+        assert ratio < 1.5
+
+
+class TestTimelineArtifact:
+    def test_sample_merged_timeline(self, timeline_results):
+        """Write the artifact CI uploads; validate before publishing."""
+        rec_flow, rep_flow = record_replay(flow=True)
+        trace = merged_timeline([rec_flow, rep_flow])
+        problems = validate_chrome_trace(trace)
+        assert problems == []
+        out_dir = os.path.join(os.path.dirname(__file__), "output")
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, "timeline_sample.json")
+        write_timeline([rec_flow, rep_flow], path)
+        flows = trace["otherData"]["flows"]
+        receives = len(rec_flow.receives) + len(rep_flow.receives)
+        timeline_results["timeline_events"] = len(trace["traceEvents"])
+        timeline_results["timeline_flow_arrows"] = flows
+        emit(
+            "timeline_sample",
+            render_table(
+                "Sample merged timeline (record + replay, 8 ranks)",
+                ["metric", "value"],
+                [
+                    ("trace events", len(trace["traceEvents"])),
+                    ("flow arrows", flows),
+                    ("matched receives", receives),
+                    ("artifact", os.path.relpath(path)),
+                ],
+                note="load in https://ui.perfetto.dev",
+            ),
+        )
+        assert flows > 0
+        assert flows == len({r.key for r in rec_flow.receives}) + len(
+            {r.key for r in rep_flow.receives}
+        )
+
+
+def synthetic_stream(n):
+    import random
+
+    rng = random.Random(0)
+    clocks = {s: 0 for s in range(8)}
+    outs = []
+    for _ in range(n):
+        s = rng.randrange(8)
+        clocks[s] += rng.randrange(1, 3)
+        outs.append(
+            MFOutcome("cs", MFKind.TEST, (ReceiveEvent(s, clocks[s] * 8 + s),))
+        )
+    return outs
+
+
+class TestEncoderThroughputGuard:
+    def test_telemetry_off_encoder_not_regressed(self, timeline_results):
+        """The disabled observability layer must not tax the encoder.
+
+        Measures CDC encoder throughput with telemetry off (the default
+        registry is the shared no-op) and compares against the rate the
+        last benchmark session recorded in ``BENCH_encoder.json``: >25%
+        slower fails, any slowdown warns.
+        """
+        outs = synthetic_stream(20_000)
+        t = _best_of(lambda: compress(outs, Method.CDC), repeats=5)
+        current = len(outs) / t
+        timeline_results["encoder_events_per_sec_telemetry_off"] = round(current)
+        previous = load_previous_bench()
+        if not previous or "encoder_events_per_sec" not in previous:
+            pytest.skip("no BENCH_encoder.json to compare against")
+        prev = previous["encoder_events_per_sec"]
+        ratio = current / prev
+        timeline_results["encoder_guard_ratio"] = round(ratio, 3)
+        emit(
+            "timeline_encoder_guard",
+            render_table(
+                "Telemetry-off encoder throughput vs recorded baseline",
+                ["metric", "value"],
+                [
+                    ("this run (events/s)", f"{current:,.0f}"),
+                    ("BENCH_encoder.json", f"{prev:,}"),
+                    ("ratio", f"{ratio:.2f}"),
+                ],
+                note="guard: <0.75 fails, <1.0 warns",
+            ),
+        )
+        if ratio < 0.75:
+            pytest.fail(
+                f"telemetry-off encoder throughput regressed "
+                f"{100 * (1 - ratio):.0f}%: {current:,.0f} events/s now vs "
+                f"{prev:,} recorded"
+            )
+        if ratio < 1.0:
+            warnings.warn(
+                f"telemetry-off encoder throughput down "
+                f"{100 * (1 - ratio):.1f}% vs recorded "
+                f"({current:,.0f} vs {prev:,} events/s)",
+                stacklevel=1,
+            )

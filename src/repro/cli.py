@@ -241,7 +241,20 @@ def cmd_stats(args: argparse.Namespace) -> int:
     from repro.analysis.size_model import archive_breakdown
     from repro.core.formats import ROW_BITS
 
-    archive = RecordArchive.load(args.record)
+    if args.salvage:
+        archive, recovery = load_archive(args.record, mode="salvage")
+        if not recovery.clean:
+            print(recovery.render())
+            print()
+    else:
+        try:
+            archive = RecordArchive.load(args.record)
+        except Exception as exc:
+            raise SystemExit(
+                f"cannot load {args.record}: {exc}\n"
+                "(crash-truncated or corrupt archive? retry with --salvage "
+                "to report on the recoverable prefix)"
+            )
 
     per_rank = []
     total_events = total_unmatched = 0
@@ -353,7 +366,53 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 rows_,
             )
         )
+    if args.metrics:
+        print()
+        print(_telemetry_health(args.metrics))
     return 0
+
+
+def _telemetry_health(metrics_path: str) -> str:
+    """Summarize a metrics JSONL dump: drops, saturation, schema validity."""
+    import json
+
+    from repro.obs import validate_metrics_lines
+
+    with open(metrics_path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    problems = validate_metrics_lines(lines)
+    dropped = 0
+    saturated: list[str] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue
+        if obj.get("type") in ("meta", "end"):
+            dropped = max(dropped, int(obj.get("dropped_events") or 0))
+        elif obj.get("saturated"):
+            saturated.append(str(obj.get("name")))
+    rows = [
+        ("schema", "ok" if not problems else f"{len(problems)} problem(s)"),
+        (
+            "dropped span events",
+            f"{dropped:,} ⚠ trace is truncated" if dropped else "0",
+        ),
+        (
+            "saturated instruments",
+            ("⚠ " + ", ".join(saturated) + " (values clipped)")
+            if saturated
+            else "none",
+        ),
+    ]
+    note = None
+    if problems:
+        note = "; ".join(problems[:3])
+    return render_table(
+        f"telemetry health ({metrics_path})", ["check", "status"], rows, note=note
+    )
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -391,6 +450,96 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print()
         print(record.run_stats.render())
     return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    """Record then replay a workload, emitting one causally-linked timeline.
+
+    Both runs attach a :class:`~repro.obs.FlowRecorder`, so the output is a
+    single Chrome ``trace_event`` JSON in which every matched receive has a
+    flow arrow from the ``MPI_Isend`` that caused it — across ranks, and
+    with record and replay side by side as separate process groups.
+    """
+    from repro.obs import (
+        FlowRecorder,
+        TelemetryRegistry,
+        validate_chrome_trace,
+        write_metrics_jsonl,
+        write_timeline,
+    )
+
+    params = _parse_params(args.param)
+    program, _ = make_workload(args.workload, args.nprocs, **params)
+    registry = TelemetryRegistry() if args.metrics_out else None
+    rec_flow = FlowRecorder("record")
+    record = RecordSession(
+        program,
+        nprocs=args.nprocs,
+        network_seed=args.network_seed,
+        flow=rec_flow,
+        telemetry=registry,
+    ).run()
+    recorders = [rec_flow]
+    if not args.no_replay:
+        rep_flow = FlowRecorder("replay")
+        ReplaySession(
+            program,
+            record.archive,
+            network_seed=args.network_seed + 1,
+            flow=rep_flow,
+            telemetry=registry,
+        ).run()
+        recorders.append(rep_flow)
+    trace = write_timeline(recorders, args.out)
+    for rec in recorders:
+        print(rec.match_stats().describe())
+    print(
+        f"timeline: {args.out} ({len(trace['traceEvents']):,} events, "
+        f"{trace['otherData']['flows']} flow arrows) — load in "
+        "https://ui.perfetto.dev"
+    )
+    if args.metrics_out:
+        lines = write_metrics_jsonl(registry, args.metrics_out)
+        print(f"metrics: {args.metrics_out} ({lines:,} lines)")
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems[:10]:
+            print(f"  ⚠ {problem}")
+        return 1
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Tail a live metrics JSONL stream and render run progress.
+
+    Point it at the file a session is writing via ``metrics_stream=``;
+    without ``--follow`` it renders the current state once, with it the
+    view refreshes until the stream's ``end`` line arrives (or
+    ``--timeout`` wall seconds pass).
+    """
+    import time as _time
+
+    from repro.obs import MonitorState, render_monitor
+
+    state = MonitorState()
+    buffer = ""
+    start = _time.monotonic()
+    with open(args.metrics, "r", encoding="utf-8") as fh:
+        while True:
+            chunk = fh.read()
+            if chunk:
+                buffer += chunk
+                *complete, buffer = buffer.split("\n")
+                state.feed_lines([ln for ln in complete if ln.strip()])
+            if not args.follow or state.ended:
+                break
+            if args.timeout and _time.monotonic() - start > args.timeout:
+                print(render_monitor(state))
+                print(f"monitor: gave up after {args.timeout:g}s without an end line")
+                return 1
+            _time.sleep(args.interval)
+    print(render_monitor(state))
+    return 1 if state.problems else 0
 
 
 def cmd_transcode(args: argparse.Namespace) -> int:
@@ -502,6 +651,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_stats.add_argument(
         "--chunks", action="store_true", help="include the per-chunk breakdown"
     )
+    p_stats.add_argument(
+        "--salvage", action="store_true",
+        help="load crash-truncated archives: report on the longest "
+             "recoverable epoch-aligned prefix instead of failing",
+    )
+    p_stats.add_argument(
+        "--metrics", metavar="FILE",
+        help="also report telemetry health from a metrics JSONL dump "
+             "(span-buffer drops, counter/histogram saturation)",
+    )
     p_stats.set_defaults(func=cmd_stats)
 
     p_trace = sub.add_parser(
@@ -526,6 +685,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="encode chunks on N worker threads (0 = serial)",
     )
     p_trace.set_defaults(func=cmd_trace)
+
+    p_timeline = sub.add_parser(
+        "timeline",
+        help="record + replay a workload into one causally-linked Chrome "
+             "trace with cross-rank flow arrows",
+    )
+    _add_workload_args(p_timeline)
+    p_timeline.add_argument(
+        "--out", default="timeline.json", metavar="FILE",
+        help="merged timeline output (Perfetto-loadable trace_event JSON)",
+    )
+    p_timeline.add_argument(
+        "--no-replay", action="store_true",
+        help="trace only the recording run (skip the replay process group)",
+    )
+    p_timeline.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="additionally dump run telemetry as metrics JSONL",
+    )
+    p_timeline.set_defaults(func=cmd_timeline)
+
+    p_monitor = sub.add_parser(
+        "monitor",
+        help="render live progress from a metrics JSONL stream "
+             "(sessions started with metrics_stream=FILE)",
+    )
+    p_monitor.add_argument("metrics", help="metrics JSONL stream file")
+    p_monitor.add_argument(
+        "--follow", action="store_true",
+        help="keep polling until the stream's end line arrives",
+    )
+    p_monitor.add_argument(
+        "--interval", type=float, default=0.5, metavar="SECONDS",
+        help="poll interval in --follow mode",
+    )
+    p_monitor.add_argument(
+        "--timeout", type=float, default=0.0, metavar="SECONDS",
+        help="give up following after this many wall seconds (0 = never)",
+    )
+    p_monitor.set_defaults(func=cmd_monitor)
 
     p_verify = sub.add_parser(
         "verify", help="integrity-check a recorded archive (CRCs, tails)"

@@ -78,6 +78,31 @@ class ArchiveCorruptionError(RecordFormatError):
         super().__init__(msg)
 
 
+class ReplayStallError(ReproError):
+    """A run made no observable progress within the watchdog deadline.
+
+    Raised by :class:`~repro.obs.watchdog.ProgressWatchdog` through the
+    engine's abort channel when no event was delivered for ``deadline``
+    wall seconds — the signature of a replay wedged on a divergent or
+    truncated record (the heap may still spin on beacon retries, so a
+    pure deadlock check never fires). The session attaches a structured
+    :class:`~repro.obs.watchdog.StallReport` as ``.report`` before the
+    error reaches the caller.
+    """
+
+    def __init__(self, deadline: float, progress: int, detail: str = "") -> None:
+        self.deadline = deadline
+        self.progress = progress
+        self.report = None  # StallReport, attached by the session
+        msg = (
+            f"no progress for {deadline:g}s (stuck at {progress} delivered "
+            "events)"
+        )
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+
+
 class ReplayDivergence(ReproError):
     """The replayed execution diverged from the recorded one.
 

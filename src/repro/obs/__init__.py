@@ -23,6 +23,14 @@ Typical use::
     write_metrics_jsonl(reg, "metrics.jsonl")
 """
 
+from repro.obs.causal import (
+    FlowMatchStats,
+    FlowRecorder,
+    FlowReceive,
+    FlowSend,
+    merged_timeline,
+    write_timeline,
+)
 from repro.obs.export import (
     chrome_trace,
     metrics_lines,
@@ -48,35 +56,65 @@ from repro.obs.registry import (
     telemetry_enabled,
     use_registry,
 )
+from repro.obs.monitor import (
+    MetricsStreamWriter,
+    MonitorState,
+    render_monitor,
+    sparkline,
+)
 from repro.obs.spans import NOOP_SPAN, Span, event, span
 from repro.obs.stats import RunStats, build_run_stats
+from repro.obs.watchdog import (
+    DivergenceCandidate,
+    ProgressWatchdog,
+    StallReport,
+    WatchdogConfig,
+    build_stall_report,
+    first_divergence_candidate,
+)
 
 __all__ = [
     "COUNTER_MAX",
     "HISTOGRAM_BUCKETS",
     "Counter",
+    "DivergenceCandidate",
+    "FlowMatchStats",
+    "FlowReceive",
+    "FlowRecorder",
+    "FlowSend",
     "Gauge",
     "Histogram",
+    "MetricsStreamWriter",
+    "MonitorState",
     "NOOP_SPAN",
     "NULL_REGISTRY",
     "NullRegistry",
+    "ProgressWatchdog",
     "RunStats",
     "Span",
+    "StallReport",
     "TelemetryRegistry",
     "TraceEvent",
+    "WatchdogConfig",
     "build_run_stats",
+    "build_stall_report",
     "chrome_trace",
     "env_enabled",
     "event",
+    "first_divergence_candidate",
     "get_registry",
+    "merged_timeline",
     "metrics_lines",
+    "render_monitor",
     "resolve_registry",
     "set_registry",
     "span",
+    "sparkline",
     "telemetry_enabled",
     "use_registry",
     "validate_chrome_trace",
     "validate_metrics_lines",
     "write_chrome_trace",
     "write_metrics_jsonl",
+    "write_timeline",
 ]

@@ -34,8 +34,12 @@ __all__ = [
     "write_metrics_jsonl",
 ]
 
-#: Chrome trace phases this exporter emits (and the validator accepts).
-_PHASES = frozenset({"X", "i", "C", "M"})
+#: Chrome trace phases the exporters emit (and the validator accepts).
+#: ``s``/``t``/``f`` are flow events (causal arrows) — see repro.obs.causal.
+_PHASES = frozenset({"X", "i", "C", "M", "s", "t", "f"})
+
+#: flow phases additionally require a binding ``id``.
+_FLOW_PHASES = frozenset({"s", "t", "f"})
 
 
 # ---------------------------------------------------------------------------
@@ -77,6 +81,10 @@ def validate_metrics_lines(lines: Iterable[str]) -> list[str]:
         "counter": ("name", "value"),
         "gauge": ("name", "value", "max"),
         "histogram": ("name", "count", "total", "buckets"),
+        # streaming lines (repro.obs.monitor.MetricsStreamWriter)
+        "sample": ("t", "counters", "gauges"),
+        "chunk": ("t", "rank", "callsite", "events", "stored_bytes"),
+        "end": ("t",),
     }
     seen_meta = False
     for i, line in enumerate(lines):
@@ -246,6 +254,8 @@ def validate_chrome_trace(trace: Mapping[str, Any]) -> list[str]:
             dur = ev.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 problems.append(f"event {i}: bad dur {dur!r}")
+        if phase in _FLOW_PHASES and not isinstance(ev.get("id"), (int, str)):
+            problems.append(f"event {i}: flow event missing id")
         if last_ts is not None and ts < last_ts:
             problems.append(
                 f"event {i}: timestamp {ts} goes backwards (after {last_ts})"

@@ -85,8 +85,16 @@ class Counter:
         with self._lock:
             self.value = min(self.value + n, COUNTER_MAX)
 
+    @property
+    def saturated(self) -> bool:
+        """Did this counter hit the ceiling (its value is a lower bound)?"""
+        return self.value >= COUNTER_MAX
+
     def snapshot(self) -> dict[str, Any]:
-        return {"type": "counter", "name": self.name, "value": self.value}
+        snap = {"type": "counter", "name": self.name, "value": self.value}
+        if self.saturated:
+            snap["saturated"] = True
+        return snap
 
 
 class Gauge:
@@ -188,11 +196,21 @@ class Histogram:
                 return self.bucket_upper_bound(i)
         return self.bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
 
+    @property
+    def saturated(self) -> bool:
+        """Did any observation land in the open-ended last bucket?
+
+        When true, ``max``/quantile bounds clip at the bucket ceiling and
+        undersell the real tail — the run stats surface this so truncated
+        telemetry is visible rather than silently optimistic.
+        """
+        return self.buckets[HISTOGRAM_BUCKETS - 1] > 0
+
     def snapshot(self) -> dict[str, Any]:
         nonzero = {
             str(i): n for i, n in enumerate(self.buckets) if n
         }
-        return {
+        snap = {
             "type": "histogram",
             "name": self.name,
             "count": self.count,
@@ -204,6 +222,9 @@ class Histogram:
             "p99": self.quantile_bound(0.99),
             "buckets": nonzero,
         }
+        if self.saturated:
+            snap["saturated"] = True
+        return snap
 
 
 @dataclass(frozen=True)
@@ -330,6 +351,14 @@ class TelemetryRegistry:
             if isinstance(i, Histogram)
         }
 
+    def saturated_instruments(self) -> list[str]:
+        """Names of counters/histograms whose values are clipped."""
+        return [
+            i.name
+            for i in self.instruments()
+            if isinstance(i, (Counter, Histogram)) and i.saturated
+        ]
+
 
 class _NullInstrument:
     """Shared do-nothing instrument for the disabled path."""
@@ -398,6 +427,9 @@ class NullRegistry:
 
     def histograms(self) -> dict[str, dict[str, Any]]:
         return {}
+
+    def saturated_instruments(self) -> list[str]:
+        return []
 
 
 #: the one shared disabled registry; identity-comparable.

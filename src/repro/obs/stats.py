@@ -43,6 +43,15 @@ class RunStats:
     histograms: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     span_events: int = 0
     dropped_events: int = 0
+    #: counters/histograms whose values clipped (counter ceiling hit, or
+    #: observations in the open-ended last histogram bucket) — the
+    #: telemetry itself is truncated, not just large.
+    saturated_instruments: tuple[str, ...] = ()
+
+    @property
+    def truncated_telemetry(self) -> bool:
+        """True when the rollup silently undersells the run (drops/clips)."""
+        return bool(self.dropped_events or self.saturated_instruments)
 
     @property
     def bytes_per_event(self) -> float:
@@ -72,7 +81,21 @@ class RunStats:
             rows.append(("bytes/event", f"{self.bytes_per_event:.3f}"))
         rows.append(("span events", f"{self.span_events:,}"))
         if self.dropped_events:
-            rows.append(("dropped events", f"{self.dropped_events:,}"))
+            rows.append(
+                (
+                    "dropped events",
+                    f"{self.dropped_events:,} ⚠ span buffer overflowed; "
+                    "trace is truncated",
+                )
+            )
+        if self.saturated_instruments:
+            rows.append(
+                (
+                    "saturated",
+                    "⚠ " + ", ".join(self.saturated_instruments)
+                    + " (values clipped)",
+                )
+            )
         shown = 0
         for name in sorted(self.counters):
             if shown >= top_counters:
@@ -121,4 +144,5 @@ def build_run_stats(
         histograms=registry.histograms(),
         span_events=len(registry.events),
         dropped_events=registry.dropped_events,
+        saturated_instruments=tuple(registry.saturated_instruments()),
     )

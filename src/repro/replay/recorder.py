@@ -25,7 +25,7 @@ from typing import Sequence
 
 from repro.core.compression import ZLIB_LEVEL
 from repro.core.events import MFOutcome, outcomes_to_rows
-from repro.core.formats import serialize_raw_rows
+from repro.core.formats import serialize_cdc_chunks, serialize_raw_rows
 from repro.core.pipeline import encode_chunk
 from repro.core.record_table import RecordTable, RecordTableBuilder
 from repro.replay.chunk_store import RecordArchive
@@ -37,7 +37,7 @@ from repro.replay.cost_model import (
     cdc_cost_model,
     gzip_cost_model,
 )
-from repro.obs import get_registry, span
+from repro.obs import event, get_registry, span
 from repro.sim.network import payload_nbytes
 from repro.sim.pmpi import MFController
 from repro.sim.process import MFCall, MFResult, SimProcess
@@ -147,6 +147,7 @@ class RecordingController(MFController):
                 self.archive.append(rank, chunk)
                 if self.store is not None:
                     self.store.append(rank, chunk)
+                self._note_chunk(rank, chunk)
             self._inflight.clear()
             self._encoder.close()
         registry = get_registry()
@@ -197,6 +198,24 @@ class RecordingController(MFController):
         self.archive.append(rank, chunk)
         if self.store is not None:
             self.store.append(rank, chunk)
+        self._note_chunk(rank, chunk)
+
+    def _note_chunk(self, rank: int, chunk) -> None:
+        """Instant trace marker per stored chunk (the monitor's epoch feed).
+
+        Carries the chunk's standalone compressed size so the stream can
+        flag per-chunk compression-ratio anomalies while the run is live.
+        """
+        if not get_registry().enabled:
+            return
+        stored = len(zlib.compress(serialize_cdc_chunks([chunk]), ZLIB_LEVEL))
+        event(
+            "record.chunk",
+            rank=rank,
+            callsite=chunk.callsite,
+            events=chunk.num_events,
+            stored_bytes=stored,
+        )
 
     # -- results ---------------------------------------------------------------
 

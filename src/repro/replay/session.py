@@ -22,16 +22,22 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.events import MFOutcome
-from repro.errors import RecordExhausted, SimulationError
+from repro.errors import RecordExhausted, ReplayStallError, SimulationError
 from repro.obs import (
+    FlowRecorder,
+    MetricsStreamWriter,
     NullRegistry,
+    ProgressWatchdog,
     RunStats,
+    StallReport,
     TelemetryRegistry,
     build_run_stats,
+    build_stall_report,
     resolve_registry,
     span,
     use_registry,
 )
+from repro.obs.watchdog import engine_progress, replay_progress, resolve_watchdog
 from repro.replay.chunk_store import RecordArchive
 from repro.replay.cost_model import RecordingCostModel
 from repro.replay.durable_store import (
@@ -78,6 +84,12 @@ class RunResult:
     #: the registry the run reported into (NULL_REGISTRY when disabled) —
     #: what ``repro trace`` exports after the run.
     registry: TelemetryRegistry | NullRegistry | None = None
+    #: causal flow capture, when the session ran with ``flow=`` — feed to
+    #: :func:`repro.obs.merged_timeline` for the cross-rank Chrome trace.
+    flow: FlowRecorder | None = None
+    #: watchdog post-mortem, when a stall fired and policy degraded to a
+    #: partial result instead of raising.
+    stall: StallReport | None = None
 
     @property
     def truncated(self) -> bool:
@@ -108,6 +120,10 @@ class _Session:
         latency: LatencyModel | None = None,
         engine_kwargs: Mapping[str, Any] | None = None,
         telemetry: Any = None,
+        flow: FlowRecorder | None = None,
+        watchdog: Any = None,
+        metrics_stream: str | None = None,
+        metrics_interval: float = 0.05,
     ) -> None:
         self.program = program
         self.nprocs = nprocs
@@ -118,30 +134,74 @@ class _Session:
         #: True = fresh private registry, False = force off, or pass a
         #: :class:`~repro.obs.TelemetryRegistry` to share one across runs.
         self.registry = resolve_registry(telemetry)
+        #: optional causal flow capture (repro.obs.causal.FlowRecorder).
+        self.flow = flow
+        #: ``watchdog``: None = off, a float = deadline in wall seconds,
+        #: or a :class:`~repro.obs.WatchdogConfig` for policy control.
+        self.watchdog = resolve_watchdog(watchdog)
+        #: when set, a MetricsStreamWriter appends live JSONL here for
+        #: ``repro monitor``; implies telemetry (a private registry is
+        #: created if the session would otherwise run with none).
+        self.metrics_stream = metrics_stream
+        self.metrics_interval = metrics_interval
+        if metrics_stream is not None and not self.registry.enabled:
+            self.registry = TelemetryRegistry()
         self._wall_seconds = 0.0
 
     def _run(self, controller: MFController, mode: str) -> RunResult:
         network = Network(seed=self.network_seed, latency=self.latency)
+        engine_kwargs = dict(self.engine_kwargs)
+        if self.flow is not None:
+            engine_kwargs.setdefault("flow_recorder", self.flow)
         engine = Engine(
             self.nprocs,
             self.program,
             network=network,
             controller=controller,
-            **self.engine_kwargs,
+            **engine_kwargs,
         )
         self._engine = engine  # kept for post-mortem diagnostics
+        watchdog = stream = None
         t0 = time.perf_counter()
         try:
             with use_registry(self.registry):
+                if self.metrics_stream is not None:
+                    stream = MetricsStreamWriter(
+                        self.metrics_stream,
+                        self.registry,
+                        interval=self.metrics_interval,
+                    ).start()
+                if self.watchdog is not None:
+                    progress = (
+                        replay_progress(controller)
+                        if hasattr(controller, "_states")
+                        else engine_progress(engine)
+                    )
+                    watchdog = ProgressWatchdog(
+                        engine, progress, self.watchdog
+                    ).start()
                 with span(f"session.{mode}", nprocs=self.nprocs) as sp:
                     stats = engine.run()
                     sp.set(events=stats.total_events)
+        except ReplayStallError as exc:
+            # attach the structured post-mortem while the (now unwound)
+            # engine state is still coherent; policy handling is the
+            # subclass's job.
+            with use_registry(self.registry):
+                exc.report = build_stall_report(engine, controller, exc, mode)
+            raise
         finally:
+            if watchdog is not None:
+                watchdog.stop()
+            if stream is not None:
+                with use_registry(self.registry):
+                    stream.close()
             self._wall_seconds = time.perf_counter() - t0
         result = RunResult(mode=mode, nprocs=self.nprocs, stats=stats)
         result.app_results = {p.rank: p.result for p in engine.procs}
         result.final_clocks = {p.rank: p.clock.value for p in engine.procs}
         result.controller = controller
+        result.flow = self.flow
         return result
 
     def _attach_stats(self, result: RunResult) -> RunResult:
@@ -198,9 +258,22 @@ class RecordSession(_Session):
         store_retry: RetryPolicy | None = None,
         meta: Mapping[str, Any] | None = None,
         telemetry: Any = None,
+        flow: FlowRecorder | None = None,
+        watchdog: Any = None,
+        metrics_stream: str | None = None,
+        metrics_interval: float = 0.05,
     ) -> None:
         super().__init__(
-            program, nprocs, network_seed, latency, engine_kwargs, telemetry
+            program,
+            nprocs,
+            network_seed,
+            latency,
+            engine_kwargs,
+            telemetry,
+            flow=flow,
+            watchdog=watchdog,
+            metrics_stream=metrics_stream,
+            metrics_interval=metrics_interval,
         )
         self.chunk_events = chunk_events
         self.cost_model = cost_model
@@ -285,6 +358,10 @@ class ReplaySession(_Session):
         engine_kwargs: Mapping[str, Any] | None = None,
         mode: str = "strict",
         telemetry: Any = None,
+        flow: FlowRecorder | None = None,
+        watchdog: Any = None,
+        metrics_stream: str | None = None,
+        metrics_interval: float = 0.05,
     ) -> None:
         if mode not in ("strict", "salvage"):
             raise ValueError(f"mode must be 'strict' or 'salvage', got {mode!r}")
@@ -295,7 +372,16 @@ class ReplaySession(_Session):
             with use_registry(registry):
                 archive, self.recovery = load_archive(archive, mode=mode)
         super().__init__(
-            program, archive.nprocs, network_seed, latency, engine_kwargs, registry
+            program,
+            archive.nprocs,
+            network_seed,
+            latency,
+            engine_kwargs,
+            registry,
+            flow=flow,
+            watchdog=watchdog,
+            metrics_stream=metrics_stream,
+            metrics_interval=metrics_interval,
         )
         self.archive = archive
         self.delivery_mode = delivery_mode
@@ -323,6 +409,34 @@ class ReplaySession(_Session):
             result.outcomes = dict(controller.outcomes)
             result.archive = self.archive
             result.recovery = self.recovery
+            return self._attach_stats(result)
+        except ReplayStallError as exc:
+            # _run attached exc.report; decide between failing loudly and
+            # degrading to a salvage-style partial result.
+            policy = self.watchdog.policy if self.watchdog is not None else "raise"
+            if policy != "salvage" and self.mode != "salvage":
+                raise
+            report = exc.report
+            result = RunResult(
+                mode="replay-stalled",
+                nprocs=self.nprocs,
+                stats=self._engine.stats,
+            )
+            result.app_results = {p.rank: p.result for p in self._engine.procs}
+            result.final_clocks = {
+                p.rank: p.clock.value for p in self._engine.procs
+            }
+            result.controller = controller
+            result.stall = report
+            if report is not None and report.divergence is not None:
+                result.truncated_at = (
+                    report.divergence.rank,
+                    report.divergence.callsite,
+                )
+            result.outcomes = dict(controller.outcomes)
+            result.archive = self.archive
+            result.recovery = self.recovery
+            result.flow = self.flow
             return self._attach_stats(result)
         except SimulationError as exc:
             # attach a structured post-mortem so the user sees *why*

@@ -63,6 +63,7 @@ class Engine:
         max_events: int = 50_000_000,
         track_vector_clocks: bool = False,
         tracer=None,
+        flow_recorder=None,
     ) -> None:
         if nprocs <= 0:
             raise SimulationError("need at least one process")
@@ -92,6 +93,13 @@ class Engine:
         self.stats = SimStats(nprocs)
         #: optional EngineTracer flight recorder (see repro.sim.tracing).
         self.tracer = tracer
+        #: optional FlowRecorder capturing send/delivery pairs for causal
+        #: cross-rank tracing (see repro.obs.causal).
+        self.flow_recorder = flow_recorder
+        #: abort channel: another thread (the progress watchdog) stores an
+        #: exception here; the main loop raises it at the next event — the
+        #: only point where engine state is guaranteed consistent.
+        self._abort: BaseException | None = None
         #: global simulation time = timestamp of the event being processed.
         self.now: float = 0.0
 
@@ -99,6 +107,15 @@ class Engine:
 
     def _push(self, time: float, kind: int, data: object) -> None:
         heapq.heappush(self._heap, (time, next(self._seq), kind, data))
+
+    def request_abort(self, exc: BaseException) -> None:
+        """Ask the main loop to raise ``exc`` at its next safe point.
+
+        Thread-safe (a single reference store); used by the progress
+        watchdog so the stall report can be assembled single-threadedly
+        after the loop unwinds.
+        """
+        self._abort = exc
 
     def schedule_tool_event(self, time: float, fn) -> None:
         """Schedule a controller-level callback (tool messages, beacons).
@@ -131,6 +148,8 @@ class Engine:
         arrival = self.network.delivery_time(
             proc.rank, dest, proc.time, payload_nbytes(payload)
         )
+        if self.flow_recorder is not None:
+            self.flow_recorder.on_send(proc.rank, dest, tag, clock, proc.time)
         self._push(arrival, _DELIVER, msg)
         self.stats.total_messages += 1
         req = Request(owner=proc.rank, is_recv=False)
@@ -171,6 +190,8 @@ class Engine:
             block_t0 = perf_counter_ns()
 
         while self._heap and remaining:
+            if self._abort is not None:
+                raise self._abort
             self.stats.total_events += 1
             if track and self.stats.total_events % self.STEP_SAMPLE_EVENTS == 0:
                 now_ns = perf_counter_ns()

@@ -111,6 +111,20 @@ class MFController:
         result, outcome = finalize_delivery(proc, call, recv_order, sends, flag)
         if outcome is not None:
             self.on_outcome(proc, outcome)
+            if outcome.matched:
+                # Causal flow hook lives here rather than in any one
+                # controller: every mode (baseline/record/replay) reports
+                # matched receives the same way, so merged record+replay
+                # timelines come out structurally comparable.
+                recorder = getattr(self.engine, "flow_recorder", None)
+                if recorder is not None:
+                    recorder.on_delivery(
+                        proc.rank,
+                        call.callsite,
+                        call.kind.value,
+                        proc.time,
+                        outcome.matched,
+                    )
         if messages:
             self.on_delivery(proc, call, messages)
         return result

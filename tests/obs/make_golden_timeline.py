@@ -1,0 +1,25 @@
+"""Regenerate ``golden_timeline.json`` after an intentional change.
+
+Usage::
+
+    PYTHONPATH=src:tests python tests/obs/make_golden_timeline.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from test_causal import GOLDEN_TIMELINE_PATH, golden_recorders  # noqa: E402
+
+from repro.obs import write_timeline  # noqa: E402
+
+if __name__ == "__main__":
+    trace = write_timeline(golden_recorders(), GOLDEN_TIMELINE_PATH)
+    print(
+        f"wrote {GOLDEN_TIMELINE_PATH} "
+        f"({len(trace['traceEvents'])} events, "
+        f"{trace['otherData']['flows']} flows)"
+    )

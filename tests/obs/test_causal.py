@@ -1,0 +1,197 @@
+"""Causal cross-rank tracing: flow recorders and the merged timeline.
+
+The simulator's virtual clock makes the merged timeline of a seeded
+workload byte-deterministic, so a golden file pins the exact serialized
+trace — phases, flow ids, sort order and all. The structural tests then
+assert the ISSUE-level contract directly: every matched (wildcard)
+receive in a recorded-then-replayed 8-rank workload gets at least one
+flow arrow, and the result passes the Chrome-trace validator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import (
+    FlowRecorder,
+    FlowReceive,
+    FlowSend,
+    merged_timeline,
+    validate_chrome_trace,
+    write_timeline,
+)
+from repro.replay.session import RecordSession, ReplaySession
+from repro.workloads import make_workload
+
+GOLDEN_TIMELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "golden_timeline.json"
+)
+
+NPROCS = 8
+
+
+def golden_recorders() -> list[FlowRecorder]:
+    """The fixed record+replay pair the golden file pins (8 ranks)."""
+    program, _ = make_workload(
+        "synthetic", NPROCS, seed="3", messages_per_rank="8", fanout="2"
+    )
+    rec_flow = FlowRecorder("record")
+    record = RecordSession(
+        program, nprocs=NPROCS, network_seed=1, flow=rec_flow
+    ).run()
+    rep_flow = FlowRecorder("replay")
+    ReplaySession(
+        program, record.archive, network_seed=2, flow=rep_flow
+    ).run()
+    return [rec_flow, rep_flow]
+
+
+@pytest.fixture(scope="module")
+def recorders() -> list[FlowRecorder]:
+    return golden_recorders()
+
+
+@pytest.fixture(scope="module")
+def timeline(recorders):
+    return merged_timeline(recorders)
+
+
+class TestFlowRecorder:
+    def test_send_and_receive_keys_agree(self):
+        send = FlowSend(src=2, dst=5, tag=0, clock=17, t=1.5)
+        recv = FlowReceive(
+            rank=5, callsite="cs", kind="testsome", sender=2, clock=17, t=2.0
+        )
+        assert send.key == recv.key == (17, 2)
+
+    def test_on_delivery_duck_types_events(self):
+        class Ev:
+            rank = 3
+            clock = 9
+
+        rec = FlowRecorder()
+        rec.on_delivery(1, "cs", "testsome", 0.5, [Ev(), Ev()])
+        assert len(rec.receives) == 2
+        assert rec.receives[0].sender == 3
+        assert rec.receives[0].clock == 9
+
+    def test_match_stats_counts_correlated_pairs(self):
+        rec = FlowRecorder("unit")
+        rec.on_send(0, 1, 0, 5, 0.1)
+        rec.on_send(0, 1, 0, 6, 0.2)
+
+        class Ev:
+            rank, clock = 0, 5
+
+        rec.on_delivery(1, "cs", "testsome", 0.3, [Ev()])
+        stats = rec.match_stats()
+        assert (stats.sends, stats.receives, stats.matched) == (2, 1, 1)
+        assert stats.match_rate == 1.0
+        assert "unit" in stats.describe()
+
+    def test_sessions_capture_both_endpoints(self, recorders):
+        for rec in recorders:
+            stats = rec.match_stats()
+            assert stats.sends > 0
+            assert stats.receives > 0
+            # every matched receive traces back to a captured send
+            assert stats.matched == stats.receives
+
+    def test_record_and_replay_observe_the_same_flow_set(self, recorders):
+        record, replay = recorders
+        assert set(record.send_index()) == set(replay.send_index())
+        assert {r.key for r in record.receives} == {r.key for r in replay.receives}
+
+
+class TestMergedTimeline:
+    def test_validator_clean(self, timeline):
+        assert validate_chrome_trace(timeline) == []
+
+    def test_every_matched_receive_has_a_flow_arrow(self, recorders, timeline):
+        finishes = [
+            ev for ev in timeline["traceEvents"] if ev.get("ph") == "f"
+        ]
+        total_receives = sum(len(rec.receives) for rec in recorders)
+        assert total_receives > 0
+        assert len(finishes) == total_receives
+        for ev in finishes:
+            assert ev["bp"] == "e"
+
+    def test_every_flow_has_start_and_finish(self, timeline):
+        starts = {}
+        finishes = {}
+        for ev in timeline["traceEvents"]:
+            if ev.get("ph") == "s":
+                assert ev["id"] not in starts, "duplicate flow start id"
+                starts[ev["id"]] = ev
+            elif ev.get("ph") == "f":
+                finishes.setdefault(ev["id"], []).append(ev)
+        assert set(starts) == set(finishes)
+        assert len(starts) == timeline["otherData"]["flows"]
+        for fid, start in starts.items():
+            for finish in finishes[fid]:
+                assert start["pid"] == finish["pid"]  # arrows never cross runs
+        # per-rank virtual clocks are not globally synchronized, so a
+        # receiver's local delivery time may precede the sender's local
+        # post time — arrows can legitimately point "backwards".
+
+    def test_runs_are_named_process_groups(self, recorders, timeline):
+        names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in timeline["traceEvents"]
+            if ev.get("ph") == "M" and ev["name"] == "process_name"
+        }
+        assert names == {1: "record", 2: "replay"}
+        thread_names = {
+            (ev["pid"], ev["tid"]): ev["args"]["name"]
+            for ev in timeline["traceEvents"]
+            if ev.get("ph") == "M" and ev["name"] == "thread_name"
+        }
+        for pid in (1, 2):
+            for rank in range(NPROCS):
+                assert thread_names[(pid, rank)] == f"rank {rank}"
+
+    def test_timestamps_are_virtual_microseconds(self, recorders, timeline):
+        slices = [ev for ev in timeline["traceEvents"] if ev.get("ph") == "X"]
+        assert slices
+        max_virtual_us = max(
+            max((s.t for s in rec.sends), default=0.0)
+            for rec in recorders
+        ) * 1e6
+        assert all(0 <= ev["ts"] <= max_virtual_us * 2 for ev in slices)
+
+    def test_unmatched_send_gets_no_flow_start(self):
+        rec = FlowRecorder("lonely")
+        rec.on_send(0, 1, 0, 5, 0.1)
+        trace = merged_timeline([rec])
+        phases = [ev["ph"] for ev in trace["traceEvents"]]
+        assert "s" not in phases and "f" not in phases
+        assert trace["otherData"]["flows"] == 0
+
+    def test_empty_recorder_produces_valid_trace(self):
+        trace = merged_timeline([FlowRecorder("empty")])
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["flows"] == 0
+
+
+class TestGoldenTimeline:
+    def test_golden_file_pinned(self, recorders, tmp_path):
+        path = tmp_path / "timeline.json"
+        write_timeline(recorders, str(path))
+        produced = path.read_text(encoding="utf-8")
+        golden = open(GOLDEN_TIMELINE_PATH, encoding="utf-8").read()
+        assert produced == golden, (
+            "merged timeline drifted from tests/obs/golden_timeline.json; "
+            "if the change is intentional, regenerate with "
+            "`PYTHONPATH=src:tests python tests/obs/make_golden_timeline.py`"
+        )
+
+    def test_golden_file_is_loadable_and_valid(self):
+        with open(GOLDEN_TIMELINE_PATH, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["runs"] == ["record", "replay"]
+        assert trace["otherData"]["flows"] > 0

@@ -38,6 +38,8 @@ class TestCounter:
         c.add(COUNTER_MAX)
         c.add(COUNTER_MAX)
         assert c.value == COUNTER_MAX == (1 << 63) - 1
+        assert c.saturated
+        assert c.snapshot()["saturated"] is True
 
     def test_snapshot_shape(self):
         c = TelemetryRegistry().counter("hits")

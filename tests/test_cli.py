@@ -228,6 +228,167 @@ class TestReplayVerbose:
         assert "run stats" not in capsys.readouterr().out
 
 
+class TestTimeline:
+    def test_merged_timeline_with_flow_arrows(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        out_path = str(tmp_path / "timeline.json")
+        metrics = str(tmp_path / "timeline-metrics.jsonl")
+        code = main(
+            [
+                "timeline", "--workload", "synthetic", "--nprocs", "8",
+                "-p", "seed=3", "-p", "messages_per_rank=8", "-p", "fanout=2",
+                "--out", out_path, "--metrics-out", metrics,
+            ]
+        )
+        assert code == 0
+        with open(out_path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["runs"] == ["record", "replay"]
+        assert trace["otherData"]["flows"] > 0
+        out = capsys.readouterr().out
+        assert "flow arrows" in out
+        assert "100.0% correlated" in out
+        assert "perfetto" in out.lower()
+
+    def test_no_replay_traces_record_only(self, tmp_path, capsys):
+        import json
+
+        out_path = str(tmp_path / "timeline.json")
+        code = main(
+            [
+                "timeline", "--workload", "synthetic", "--nprocs", "4",
+                "-p", "messages_per_rank=4", "--out", out_path, "--no-replay",
+            ]
+        )
+        assert code == 0
+        with open(out_path, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert trace["otherData"]["runs"] == ["record"]
+
+
+class TestMonitor:
+    def stream_file(self, tmp_path):
+        from repro.replay import RecordSession
+        from repro.workloads import make_workload
+
+        path = str(tmp_path / "metrics.jsonl")
+        program, _ = make_workload(
+            "synthetic", 4, messages_per_rank="40", fanout="2"
+        )
+        RecordSession(
+            program, nprocs=4, network_seed=1, chunk_events=32,
+            metrics_stream=path, metrics_interval=0.005,
+        ).run()
+        return path
+
+    def test_renders_finished_stream(self, tmp_path, capsys):
+        path = self.stream_file(tmp_path)
+        assert main(["monitor", path]) == 0
+        out = capsys.readouterr().out
+        assert "[finished]" in out
+        assert "epoch progress" in out
+        assert "stream ended" in out
+
+    def test_follow_exits_on_end_line(self, tmp_path, capsys):
+        path = self.stream_file(tmp_path)
+        assert main(["monitor", path, "--follow", "--interval", "0.01"]) == 0
+        assert "[finished]" in capsys.readouterr().out
+
+    def test_follow_timeout_on_stuck_stream(self, tmp_path, capsys):
+        import json
+
+        path = str(tmp_path / "stuck.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"type": "meta", "registry": "x",
+                                 "enabled": True}) + "\n")
+        code = main(
+            ["monitor", path, "--follow", "--interval", "0.01",
+             "--timeout", "0.05"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "gave up" in out
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["monitor", str(tmp_path / "nope.jsonl")])
+
+
+class TestStatsSalvage:
+    """Regression: ``repro stats`` on crash-truncated archives (the
+    directory has frames but no MANIFEST, and salvage can leave the last
+    rank with zero recovered chunks)."""
+
+    @pytest.fixture(scope="class")
+    def truncated_dir(self, tmp_path_factory):
+        from repro.replay import RecordSession
+        from repro.replay.durable_store import RetryPolicy
+        from repro.testing import FaultInjector, FaultPlan, InjectedCrash
+        from repro.workloads import make_workload
+
+        directory = str(tmp_path_factory.mktemp("stats") / "truncated")
+        program, _ = make_workload(
+            "synthetic", 4, seed="3", messages_per_rank="40", fanout="2"
+        )
+        injector = FaultInjector(FaultPlan(crash_after_bytes=400))
+        session = RecordSession(
+            program, nprocs=4, network_seed=1, chunk_events=64,
+            store_dir=directory, store_opener=injector.open,
+            store_fsync=False, store_retry=RetryPolicy(attempts=2, base_delay=0.0),
+        )
+        with pytest.raises(InjectedCrash):
+            session.run()
+        return directory
+
+    def test_strict_stats_fails_with_salvage_hint(self, truncated_dir):
+        with pytest.raises(SystemExit) as info:
+            main(["stats", truncated_dir])
+        assert "--salvage" in str(info.value)
+
+    def test_salvage_stats_renders_with_empty_last_rank(
+        self, truncated_dir, capsys
+    ):
+        from repro.replay.durable_store import load_archive
+
+        archive, _ = load_archive(truncated_dir, mode="salvage")
+        # the regression scenario: at least one rank recovered nothing
+        assert any(
+            not archive.chunks(r) for r in range(archive.nprocs)
+        )
+        assert main(["stats", truncated_dir, "--salvage"]) == 0
+        out = capsys.readouterr().out
+        assert "per-rank storage" in out
+        assert "compression stages" in out
+        assert "permutation rates per callsite" in out
+
+    def test_salvage_stats_on_clean_archive(self, record_dir, capsys):
+        assert main(["stats", record_dir, "--salvage"]) == 0
+        assert "per-rank storage" in capsys.readouterr().out
+
+    def test_stats_metrics_health_section(self, record_dir, tmp_path, capsys):
+        import json
+
+        metrics = str(tmp_path / "metrics.jsonl")
+        lines = [
+            {"type": "meta", "registry": "t", "enabled": True,
+             "dropped_events": 7},
+            {"type": "counter", "name": "hot.counter", "value": 5,
+             "saturated": True},
+        ]
+        with open(metrics, "w", encoding="utf-8") as fh:
+            for obj in lines:
+                fh.write(json.dumps(obj) + "\n")
+        assert main(["stats", record_dir, "--metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry health" in out
+        assert "trace is truncated" in out
+        assert "hot.counter" in out
+
+
 class TestTraceTelemetry:
     def test_trace_exports_valid_artifacts(self, tmp_path, capsys):
         import json
