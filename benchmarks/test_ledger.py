@@ -1,0 +1,133 @@
+"""Run-ledger overhead: a ledgered recording vs the same recording bare.
+
+The acceptance bar: appending one flushed summary line per run (plus the
+size accounting behind it) must add <5% to the recording benchmark's wall
+time. Scalars land in ``BENCH_ledger.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import warnings
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import render_table
+from repro.obs.ledger import RunLedger
+from repro.replay import RecordSession
+from repro.workloads import make_workload
+
+BENCH_LEDGER_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_ledger.json",
+)
+
+NPROCS = 8
+MESSAGES = 60
+
+#: acceptance bar: ledger writes add <5% to the recording benchmark.
+MAX_OVERHEAD = 1.05
+
+
+@pytest.fixture(scope="session")
+def ledger_results():
+    """Collects ledger perf numbers; written to BENCH_ledger.json at exit."""
+    results: dict = {}
+    yield results
+    if results:
+        results["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        with open(BENCH_LEDGER_JSON, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def make_program():
+    program, _ = make_workload(
+        "synthetic", NPROCS, seed="3",
+        messages_per_rank=str(MESSAGES), fanout="2",
+    )
+    return program
+
+
+def _best_of(fn, repeats=5):
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def record_once(store_dir, ledger=None):
+    RecordSession(
+        make_program(), nprocs=NPROCS, network_seed=1, keep_outcomes=False,
+        store_dir=store_dir, meta={"workload": "synthetic", "nprocs": NPROCS,
+                                   "network_seed": 1},
+        ledger=ledger,
+    ).run()
+
+
+class TestLedgerOverhead:
+    def test_ledger_append_overhead(self, ledger_results, tmp_path):
+        """One flushed summary line per run: must stay under 5% overhead."""
+        counter = [0]
+
+        def bare():
+            counter[0] += 1
+            record_once(str(tmp_path / f"bare-{counter[0]}"))
+
+        def ledgered():
+            counter[0] += 1
+            record_once(
+                str(tmp_path / f"led-{counter[0]}"),
+                ledger=str(tmp_path / "runs.jsonl"),
+            )
+
+        t_bare = _best_of(bare)
+        t_ledger = _best_of(ledgered)
+        ratio = t_ledger / t_bare
+        events = NPROCS * MESSAGES * 2
+        ledger_results["bare_record_s"] = round(t_bare, 4)
+        ledger_results["ledgered_record_s"] = round(t_ledger, 4)
+        ledger_results["ledger_overhead_ratio"] = round(ratio, 3)
+        ledger_results["record_events_per_sec"] = round(events / t_ledger)
+        emit(
+            "ledger_overhead",
+            render_table(
+                f"Run-ledger overhead (recording, {NPROCS} ranks, "
+                f"{events:,} events)",
+                ["configuration", "wall time (s)"],
+                [
+                    ("no ledger", f"{t_bare:.4f}"),
+                    ("ledger= (line + flush per run)", f"{t_ledger:.4f}"),
+                ],
+                note=f"overhead {100 * (ratio - 1):+.1f}% (guard: <5%)",
+            ),
+        )
+        if ratio >= MAX_OVERHEAD:
+            pytest.fail(
+                f"ledger writes add {100 * (ratio - 1):.1f}% to the "
+                f"recording benchmark (guard {100 * (MAX_OVERHEAD - 1):.0f}%): "
+                f"{t_ledger:.4f}s vs {t_bare:.4f}s"
+            )
+        if ratio > 1.02:
+            warnings.warn(
+                f"ledger overhead {100 * (ratio - 1):.1f}% is within the "
+                "guard but above the usual noise floor",
+                stacklevel=1,
+            )
+
+    def test_ledger_lines_are_complete(self, tmp_path):
+        """Every benchmark append produced a parseable, schema-clean line."""
+        from repro.obs.ledger import validate_ledger_lines
+
+        path = str(tmp_path / "runs.jsonl")
+        for i in range(3):
+            record_once(str(tmp_path / f"rec-{i}"), ledger=path)
+        entries = RunLedger(path).entries()
+        assert len(entries) == 3
+        with open(path, encoding="utf-8") as fh:
+            assert validate_ledger_lines(fh.read().splitlines()) == []

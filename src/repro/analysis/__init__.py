@@ -5,6 +5,19 @@ from repro.analysis.clock_study import (
     ClockStudyResult,
     run_clock_study,
 )
+from repro.analysis.divergence import (
+    CallsiteProfileDiff,
+    Delivery,
+    DivergenceReport,
+    RankDivergence,
+    diff_runs,
+    divergence_timeline,
+    kendall_tau_distance,
+    run_outcomes,
+    validate_divergence_json,
+    write_divergence_json,
+    write_divergence_timeline,
+)
 from repro.analysis.estimator import (
     DEFAULT_PROCS_PER_NODE,
     GrowthCurve,
@@ -34,14 +47,18 @@ from repro.analysis.similarity import (
 
 __all__ = [
     "CallsiteProfile",
+    "CallsiteProfileDiff",
     "ChunkStats",
     "ClockSeries",
     "ClockStudyController",
     "ClockStudyResult",
     "DEFAULT_PROCS_PER_NODE",
+    "Delivery",
+    "DivergenceReport",
     "GrowthCurve",
     "MethodRate",
     "PermutationHistogram",
+    "RankDivergence",
     "SeedSweep",
     "SizeBreakdown",
     "archive_breakdown",
@@ -49,13 +66,20 @@ __all__ = [
     "chunk_breakdown",
     "chunk_stats",
     "clock_series",
+    "diff_runs",
     "distinct_outcomes",
+    "divergence_timeline",
     "human_bytes",
     "iter_chunk_stats",
+    "kendall_tau_distance",
     "permutation_histogram",
     "profile_callsites",
     "render_histogram",
     "render_table",
     "run_clock_study",
+    "run_outcomes",
     "sweep_seeds",
+    "validate_divergence_json",
+    "write_divergence_json",
+    "write_divergence_timeline",
 ]

@@ -16,6 +16,7 @@ network seed — the tool-flow of the paper's Figure 2.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -75,6 +76,7 @@ def cmd_record(args: argparse.Namespace) -> int:
             "network_seed": args.network_seed,
             "params": params,
         },
+        ledger=args.ledger,
     )
     result = session.run()
     archive = result.archive
@@ -89,6 +91,8 @@ def cmd_record(args: argparse.Namespace) -> int:
     print(f"archive: {args.out} ({human_bytes(size)}, "
           f"{size / max(1, events):.3f} bytes/event)")
     print(f"virtual time: {result.stats.virtual_time:.6f} s")
+    if result.ledger_entry is not None:
+        print(f"ledger: {args.ledger} run {result.ledger_entry.run_id}")
     return 0
 
 
@@ -111,13 +115,17 @@ def cmd_replay(args: argparse.Namespace) -> int:
         network_seed=args.network_seed,
         mode=mode,
         telemetry=True if args.verbose else None,
+        ledger=args.ledger,
     )
     session.recovery = recovery
+    session._archive_path = args.record
     result = session.run()
     print(
         f"replayed {result.total_receive_events():,} receive events on "
         f"{archive.nprocs} ranks under network seed {args.network_seed}"
     )
+    if result.ledger_entry is not None:
+        print(f"ledger: {args.ledger} run {result.ledger_entry.run_id}")
     if args.verbose and result.run_stats is not None:
         print()
         print(result.run_stats.render())
@@ -175,7 +183,20 @@ def cmd_salvage(args: argparse.Namespace) -> int:
 
 
 def cmd_inspect(args: argparse.Namespace) -> int:
-    archive = RecordArchive.load(args.record)
+    if args.salvage:
+        archive, recovery = load_archive(args.record, mode="salvage")
+        if not recovery.clean:
+            print(recovery.render())
+            print()
+    else:
+        try:
+            archive = RecordArchive.load(args.record)
+        except Exception as exc:
+            raise SystemExit(
+                f"cannot load {args.record}: {exc}\n"
+                "(crash-truncated or corrupt archive? retry with --salvage "
+                "to summarize the recoverable prefix)"
+            )
     info = summarize(archive)
     print(
         render_table(
@@ -542,6 +563,95 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     return 1 if state.problems else 0
 
 
+def _resolve_diff_source(spec: str, ledger_path: str | None) -> tuple:
+    """A ``repro diff`` operand -> (source, label) for ``diff_runs``.
+
+    A spec is tried as a ledger run id first (when ``--ledger`` is given),
+    then as an archive directory, then as a JSON-lines outcome trace.
+    """
+    if ledger_path is not None and not os.path.exists(spec):
+        from repro.obs.ledger import RunLedger
+
+        try:
+            entry = RunLedger(ledger_path).find(spec)
+        except KeyError:
+            raise SystemExit(
+                f"{spec!r} is neither a path nor a run id in {ledger_path}"
+            )
+        if entry.archive is None:
+            raise SystemExit(
+                f"ledger run {spec} recorded no archive path; diff it by "
+                "archive directory instead"
+            )
+        return entry.archive, f"{spec} ({entry.workload} seed "\
+            f"{entry.network_seed})"
+    if os.path.isdir(spec):
+        return spec, spec
+    if os.path.isfile(spec):
+        from repro.core.trace_io import read_trace
+
+        return read_trace(spec), spec
+    raise SystemExit(
+        f"cannot resolve {spec!r}: not an archive directory, trace file, "
+        "or ledger run id (pass --ledger FILE to use run ids)"
+    )
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Diff two runs: localize the first divergent match per rank."""
+    from repro.analysis.divergence import (
+        diff_runs,
+        write_divergence_json,
+        write_divergence_timeline,
+    )
+
+    a, label_a = _resolve_diff_source(args.a, args.ledger)
+    b, label_b = _resolve_diff_source(args.b, args.ledger)
+    report = diff_runs(
+        a, b, label_a=label_a, label_b=label_b, context=args.context
+    )
+    print(report.render(max_ranks=args.ranks))
+    if args.out:
+        write_divergence_json(report, args.out)
+        print(f"\ndivergence report: {args.out}")
+    if args.timeline:
+        trace = write_divergence_timeline(report, a, b, args.timeline)
+        print(
+            f"divergence timeline: {args.timeline} "
+            f"({len(trace['traceEvents']):,} events, "
+            f"{trace['otherData']['flows']} flow arrows) — load in "
+            "https://ui.perfetto.dev"
+        )
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Browse the run ledger: history, one run's detail, or trends."""
+    from repro.obs.ledger import (
+        RunLedger,
+        render_run,
+        render_runs,
+        render_trend,
+        trend_report,
+    )
+
+    ledger = RunLedger(args.ledger)
+    entries = ledger.entries()
+    if args.runs_command == "show":
+        try:
+            entry = ledger.find(args.run_id)
+        except KeyError as exc:
+            raise SystemExit(str(exc))
+        print(render_run(entry))
+        return 0
+    if args.runs_command == "trend":
+        print(render_trend(entries, z_threshold=args.z))
+        flags, _ = trend_report(entries, z_threshold=args.z)
+        return 1 if flags else 0
+    print(render_runs(entries, limit=args.limit))
+    return 0
+
+
 def cmd_transcode(args: argparse.Namespace) -> int:
     """Compress a portable JSON-lines trace with every Figure 13 method."""
     from repro.core.trace_io import read_trace
@@ -617,6 +727,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", metavar="FILE",
         help="additionally export the raw outcome trace as JSON lines",
     )
+    p_record.add_argument(
+        "--ledger", metavar="FILE",
+        help="append this run's summary line to a JSONL run ledger",
+    )
     p_record.set_defaults(func=cmd_record)
 
     p_replay = sub.add_parser("replay", help="replay a recorded archive")
@@ -635,6 +749,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument(
         "--verbose", action="store_true",
         help="run with telemetry and print the run-stats rollup",
+    )
+    p_replay.add_argument(
+        "--ledger", metavar="FILE",
+        help="append this run's summary line to a JSONL run ledger",
     )
     p_replay.set_defaults(func=cmd_replay)
 
@@ -744,7 +862,72 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect = sub.add_parser("inspect", help="summarize a recorded archive")
     p_inspect.add_argument("--record", required=True)
     p_inspect.add_argument("--ranks", type=int, default=4, metavar="N")
+    p_inspect.add_argument(
+        "--salvage", action="store_true",
+        help="summarize crash-truncated archives: report on the longest "
+             "recoverable epoch-aligned prefix instead of failing",
+    )
     p_inspect.set_defaults(func=cmd_inspect)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="diff two runs: first divergent match per rank, eligible-send "
+             "pool, per-callsite nondeterminism profile",
+    )
+    p_diff.add_argument(
+        "a", help="reference run: archive dir, outcome trace, or run id"
+    )
+    p_diff.add_argument(
+        "b", help="comparison run: archive dir, outcome trace, or run id"
+    )
+    p_diff.add_argument(
+        "--ledger", metavar="FILE",
+        help="resolve run-id operands against this JSONL run ledger",
+    )
+    p_diff.add_argument(
+        "--context", type=int, default=5, metavar="N",
+        help="deliveries of context shown on each side of a divergence",
+    )
+    p_diff.add_argument(
+        "--ranks", type=int, default=8, metavar="N",
+        help="show at most N ranks in the per-rank divergence table",
+    )
+    p_diff.add_argument(
+        "--out", metavar="FILE", help="write the divergence report as JSON"
+    )
+    p_diff.add_argument(
+        "--timeline", metavar="FILE",
+        help="write a Perfetto trace of only the divergent region "
+             "(flow arrows, both runs side by side)",
+    )
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_runs = sub.add_parser(
+        "runs", help="browse the persistent run ledger (list / show / trend)"
+    )
+    runs_sub = p_runs.add_subparsers(dest="runs_command", required=True)
+    p_runs_list = runs_sub.add_parser("list", help="render ledgered run history")
+    p_runs_list.add_argument("--ledger", required=True, metavar="FILE")
+    p_runs_list.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="show at most the last N runs",
+    )
+    p_runs_list.set_defaults(func=cmd_runs)
+    p_runs_show = runs_sub.add_parser("show", help="full detail of one run")
+    p_runs_show.add_argument("run_id", help="ledger run id (e.g. r0001)")
+    p_runs_show.add_argument("--ledger", required=True, metavar="FILE")
+    p_runs_show.set_defaults(func=cmd_runs)
+    p_runs_trend = runs_sub.add_parser(
+        "trend",
+        help="metric trends per (workload, mode, ranks) group with "
+             "Welford z-score regression flags (exit 1 when any fire)",
+    )
+    p_runs_trend.add_argument("--ledger", required=True, metavar="FILE")
+    p_runs_trend.add_argument(
+        "--z", type=float, default=3.0, metavar="Z",
+        help="|z| threshold beyond which a run flags as a regression",
+    )
+    p_runs_trend.set_defaults(func=cmd_runs)
 
     p_compare = sub.add_parser(
         "compare", help="run the Figure 13 method comparison on a workload"

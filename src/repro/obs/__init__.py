@@ -56,6 +56,17 @@ from repro.obs.registry import (
     telemetry_enabled,
     use_registry,
 )
+from repro.obs.ledger import (
+    LedgerEntry,
+    RunLedger,
+    TrendFlag,
+    entry_from_result,
+    render_run,
+    render_runs,
+    render_trend,
+    trend_report,
+    validate_ledger_lines,
+)
 from repro.obs.monitor import (
     MetricsStreamWriter,
     MonitorState,
@@ -84,21 +95,25 @@ __all__ = [
     "FlowSend",
     "Gauge",
     "Histogram",
+    "LedgerEntry",
     "MetricsStreamWriter",
     "MonitorState",
     "NOOP_SPAN",
     "NULL_REGISTRY",
     "NullRegistry",
     "ProgressWatchdog",
+    "RunLedger",
     "RunStats",
     "Span",
     "StallReport",
     "TelemetryRegistry",
     "TraceEvent",
+    "TrendFlag",
     "WatchdogConfig",
     "build_run_stats",
     "build_stall_report",
     "chrome_trace",
+    "entry_from_result",
     "env_enabled",
     "event",
     "first_divergence_candidate",
@@ -106,13 +121,18 @@ __all__ = [
     "merged_timeline",
     "metrics_lines",
     "render_monitor",
+    "render_run",
+    "render_runs",
+    "render_trend",
     "resolve_registry",
     "set_registry",
     "span",
     "sparkline",
     "telemetry_enabled",
+    "trend_report",
     "use_registry",
     "validate_chrome_trace",
+    "validate_ledger_lines",
     "validate_metrics_lines",
     "write_chrome_trace",
     "write_metrics_jsonl",

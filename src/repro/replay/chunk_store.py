@@ -30,8 +30,9 @@ class RecordArchive:
     chunks_by_rank: dict[int, list[CDCChunk]] = field(default_factory=dict)
     #: metadata preserved for replay bookkeeping.
     meta: dict[str, object] = field(default_factory=dict)
-    #: memoized per-rank compressed sizes; invalidated by :meth:`append`.
-    _size_cache: dict[int, int] = field(
+    #: memoized per-rank (pre-gzip, compressed) sizes; invalidated by
+    #: :meth:`append`.
+    _size_cache: dict[int, tuple[int, int]] = field(
         default_factory=dict, repr=False, compare=False
     )
 
@@ -65,23 +66,37 @@ class RecordArchive:
 
     # -- size accounting -----------------------------------------------------
 
-    def rank_bytes(self, rank: int) -> int:
-        """Compressed record size of one rank (what its node stores).
+    def _rank_sizes(self, rank: int) -> tuple[int, int]:
+        """(pre-gzip, compressed) byte sizes of one rank's record.
 
-        Memoized: recompressing every rank on each accounting call is the
-        dominant cost of :func:`summarize` on large archives. The cache is
+        Memoized, with one serialization feeding both numbers:
+        recompressing every rank on each accounting call is the dominant
+        cost of :func:`summarize` on large archives. The cache is
         invalidated by :meth:`append`; direct mutation of
         ``chunks_by_rank`` must call :meth:`invalidate_size_cache`.
         """
         cached = self._size_cache.get(rank)
         if cached is None:
-            cached = self._size_cache[rank] = len(
-                zlib.compress(serialize_cdc_chunks(self.chunks(rank)), ZLIB_LEVEL)
+            payload = serialize_cdc_chunks(self.chunks(rank))
+            cached = self._size_cache[rank] = (
+                len(payload),
+                len(zlib.compress(payload, ZLIB_LEVEL)),
             )
         return cached
 
+    def rank_bytes(self, rank: int) -> int:
+        """Compressed record size of one rank (what its node stores)."""
+        return self._rank_sizes(rank)[1]
+
+    def rank_payload_bytes(self, rank: int) -> int:
+        """Pre-gzip serialized size of one rank's CDC tables (Figure 8)."""
+        return self._rank_sizes(rank)[0]
+
     def total_bytes(self) -> int:
         return sum(self.rank_bytes(r) for r in self.chunks_by_rank)
+
+    def total_payload_bytes(self) -> int:
+        return sum(self.rank_payload_bytes(r) for r in self.chunks_by_rank)
 
     def total_events(self) -> int:
         return sum(c.num_events for _, c in self.iter_all())

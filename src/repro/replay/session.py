@@ -90,6 +90,8 @@ class RunResult:
     #: watchdog post-mortem, when a stall fired and policy degraded to a
     #: partial result instead of raising.
     stall: StallReport | None = None
+    #: ledger line appended for this run (sessions with ``ledger=`` only).
+    ledger_entry: Any = None
 
     @property
     def truncated(self) -> bool:
@@ -124,6 +126,8 @@ class _Session:
         watchdog: Any = None,
         metrics_stream: str | None = None,
         metrics_interval: float = 0.05,
+        ledger: Any = None,
+        run_id: str = "",
     ) -> None:
         self.program = program
         self.nprocs = nprocs
@@ -146,7 +150,16 @@ class _Session:
         self.metrics_interval = metrics_interval
         if metrics_stream is not None and not self.registry.enabled:
             self.registry = TelemetryRegistry()
+        #: ``ledger``: a path or a :class:`~repro.obs.ledger.RunLedger`;
+        #: when set, every run appends one summary line to it.
+        if isinstance(ledger, str):
+            from repro.obs.ledger import RunLedger
+
+            ledger = RunLedger(ledger)
+        self.ledger = ledger
+        self.run_id = run_id
         self._wall_seconds = 0.0
+        self._archive_path: str | None = None
 
     def _run(self, controller: MFController, mode: str) -> RunResult:
         network = Network(seed=self.network_seed, latency=self.latency)
@@ -207,25 +220,36 @@ class _Session:
     def _attach_stats(self, result: RunResult) -> RunResult:
         """Stamp the run's telemetry rollup onto its result."""
         result.registry = self.registry
-        if not self.registry.enabled:
-            return result
-        chunks = stored_bytes = 0
-        if result.archive is not None:
-            chunks = sum(
-                len(result.archive.chunks(r)) for r in range(result.archive.nprocs)
+        if self.registry.enabled:
+            chunks = stored_bytes = 0
+            if result.archive is not None:
+                chunks = sum(
+                    len(result.archive.chunks(r))
+                    for r in range(result.archive.nprocs)
+                )
+                with use_registry(self.registry):  # size accounting serializes
+                    stored_bytes = result.archive.total_bytes()
+            result.run_stats = build_run_stats(
+                self.registry,
+                mode=result.mode,
+                nprocs=result.nprocs,
+                wall_seconds=self._wall_seconds,
+                virtual_seconds=result.stats.virtual_time,
+                receive_events=result.total_receive_events(),
+                chunks=chunks,
+                stored_bytes=stored_bytes,
             )
-            with use_registry(self.registry):  # size accounting serializes
-                stored_bytes = result.archive.total_bytes()
-        result.run_stats = build_run_stats(
-            self.registry,
-            mode=result.mode,
-            nprocs=result.nprocs,
-            wall_seconds=self._wall_seconds,
-            virtual_seconds=result.stats.virtual_time,
-            receive_events=result.total_receive_events(),
-            chunks=chunks,
-            stored_bytes=stored_bytes,
-        )
+        if self.ledger is not None:
+            from repro.obs.ledger import entry_from_result
+
+            result.ledger_entry = self.ledger.append(
+                entry_from_result(
+                    result,
+                    wall_seconds=self._wall_seconds,
+                    archive_path=self._archive_path,
+                    run_id=self.run_id,
+                )
+            )
         return result
 
 
@@ -262,6 +286,8 @@ class RecordSession(_Session):
         watchdog: Any = None,
         metrics_stream: str | None = None,
         metrics_interval: float = 0.05,
+        ledger: Any = None,
+        run_id: str = "",
     ) -> None:
         super().__init__(
             program,
@@ -274,6 +300,8 @@ class RecordSession(_Session):
             watchdog=watchdog,
             metrics_stream=metrics_stream,
             metrics_interval=metrics_interval,
+            ledger=ledger,
+            run_id=run_id,
         )
         self.chunk_events = chunk_events
         self.cost_model = cost_model
@@ -284,6 +312,7 @@ class RecordSession(_Session):
         #: when set, chunks stream to this directory as durable v2 frames
         #: while the run is in flight; the manifest commits at the end.
         self.store_dir = store_dir
+        self._archive_path = store_dir
         self.store_opener = store_opener
         self.store_fsync = store_fsync
         self.store_retry = store_retry
@@ -362,13 +391,17 @@ class ReplaySession(_Session):
         watchdog: Any = None,
         metrics_stream: str | None = None,
         metrics_interval: float = 0.05,
+        ledger: Any = None,
+        run_id: str = "",
     ) -> None:
         if mode not in ("strict", "salvage"):
             raise ValueError(f"mode must be 'strict' or 'salvage', got {mode!r}")
         self.mode = mode
         self.recovery: RecoveryReport | None = None
         registry = resolve_registry(telemetry)
+        archive_path = None
         if isinstance(archive, str):
+            archive_path = archive
             with use_registry(registry):
                 archive, self.recovery = load_archive(archive, mode=mode)
         super().__init__(
@@ -382,7 +415,10 @@ class ReplaySession(_Session):
             watchdog=watchdog,
             metrics_stream=metrics_stream,
             metrics_interval=metrics_interval,
+            ledger=ledger,
+            run_id=run_id,
         )
+        self._archive_path = archive_path
         self.archive = archive
         self.delivery_mode = delivery_mode
 

@@ -67,7 +67,7 @@ class TestAccounting:
         import zlib as _zlib
 
         before = archive.rank_bytes(0)
-        assert archive._size_cache[0] == before
+        assert archive._size_cache[0] == (archive.rank_payload_bytes(0), before)
         real_compress = _zlib.compress
         calls = {"n": 0}
 

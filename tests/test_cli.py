@@ -389,6 +389,164 @@ class TestStatsSalvage:
         assert "hot.counter" in out
 
 
+class TestInspectSalvage:
+    """Regression: ``repro inspect`` on crash-truncated no-MANIFEST archives
+    must summarize the recoverable prefix instead of raising."""
+
+    @pytest.fixture(scope="class")
+    def truncated_dir(self, tmp_path_factory):
+        from repro.replay import RecordSession
+        from repro.replay.durable_store import RetryPolicy
+        from repro.testing import FaultInjector, FaultPlan, InjectedCrash
+        from repro.workloads import make_workload
+
+        directory = str(tmp_path_factory.mktemp("inspect") / "truncated")
+        program, _ = make_workload(
+            "synthetic", 4, seed="3", messages_per_rank="40", fanout="2"
+        )
+        injector = FaultInjector(FaultPlan(crash_after_bytes=400))
+        session = RecordSession(
+            program, nprocs=4, network_seed=1, chunk_events=64,
+            store_dir=directory, store_opener=injector.open,
+            store_fsync=False, store_retry=RetryPolicy(attempts=2, base_delay=0.0),
+        )
+        with pytest.raises(InjectedCrash):
+            session.run()
+        return directory
+
+    def test_strict_inspect_fails_with_salvage_hint(self, truncated_dir):
+        with pytest.raises(SystemExit) as info:
+            main(["inspect", "--record", truncated_dir])
+        assert "--salvage" in str(info.value)
+
+    def test_salvage_inspect_summarizes_prefix(self, truncated_dir, capsys):
+        assert main(["inspect", "--record", truncated_dir, "--salvage"]) == 0
+        out = capsys.readouterr().out
+        assert "recovery report" in out or "truncated" in out
+        assert "receive events" in out
+        assert "callsite profiles" in out
+
+    def test_salvage_inspect_on_clean_archive(self, record_dir, capsys):
+        assert main(["inspect", "--record", record_dir, "--salvage"]) == 0
+        assert "receive events" in capsys.readouterr().out
+
+
+class TestDiffAndRuns:
+    @pytest.fixture(scope="class")
+    def two_seed_setup(self, tmp_path_factory):
+        """Two recorded seeds + one replay, all ledgered."""
+        base = tmp_path_factory.mktemp("diff")
+        ledger = str(base / "runs.jsonl")
+        dirs = {}
+        for name, seed in (("a", 3), ("b", 11)):
+            dirs[name] = str(base / name)
+            assert main(
+                [
+                    "record", "--workload", "synthetic", "--nprocs", "6",
+                    "--network-seed", str(seed), "--out", dirs[name],
+                    "-p", "messages_per_rank=8", "-p", "fanout=2",
+                    "--ledger", ledger,
+                ]
+            ) == 0
+        assert main(
+            ["replay", "--record", dirs["a"], "--network-seed", "9",
+             "--ledger", ledger]
+        ) == 0
+        return dirs, ledger
+
+    def test_diff_two_seeds_localizes_divergence(self, two_seed_setup, capsys):
+        dirs, _ = two_seed_setup
+        assert main(["diff", dirs["a"], dirs["b"]]) == 0
+        out = capsys.readouterr().out
+        assert "first divergence" in out
+        assert "nondeterminism profile" in out
+
+    def test_diff_is_deterministic_across_invocations(
+        self, two_seed_setup, tmp_path, capsys
+    ):
+        import json
+
+        dirs, _ = two_seed_setup
+        firsts = []
+        for i in range(2):
+            out = str(tmp_path / f"div{i}.json")
+            assert main(["diff", dirs["a"], dirs["b"], "--out", out]) == 0
+            with open(out, encoding="utf-8") as fh:
+                firsts.append(json.load(fh)["first"])
+        capsys.readouterr()
+        assert firsts[0] == firsts[1]
+        assert {"rank", "callsite", "sender", "clock"} <= firsts[0].keys()
+
+    def test_diff_against_self_is_identical(self, two_seed_setup, capsys):
+        dirs, _ = two_seed_setup
+        assert main(["diff", dirs["a"], dirs["a"]]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_diff_json_and_timeline_validate(
+        self, two_seed_setup, tmp_path, capsys
+    ):
+        import json
+
+        from repro.analysis.divergence import validate_divergence_json
+        from repro.obs import validate_chrome_trace
+
+        dirs, _ = two_seed_setup
+        out = str(tmp_path / "div.json")
+        timeline = str(tmp_path / "div_tl.json")
+        assert main(
+            ["diff", dirs["a"], dirs["b"], "--out", out, "--timeline", timeline]
+        ) == 0
+        capsys.readouterr()
+        with open(out, encoding="utf-8") as fh:
+            assert validate_divergence_json(json.load(fh)) == []
+        with open(timeline, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["flows"] > 0
+
+    def test_diff_by_ledger_run_ids(self, two_seed_setup, capsys):
+        dirs, ledger = two_seed_setup
+        assert main(["diff", "r0001", "r0002", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "r0001" in out and "r0002" in out
+
+    def test_diff_unknown_run_id_fails(self, two_seed_setup):
+        _, ledger = two_seed_setup
+        with pytest.raises(SystemExit):
+            main(["diff", "r9999", "r0001", "--ledger", ledger])
+
+    def test_diff_unresolvable_operand_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["diff", str(tmp_path / "nope"), str(tmp_path / "nada")])
+
+    def test_runs_list(self, two_seed_setup, capsys):
+        _, ledger = two_seed_setup
+        assert main(["runs", "list", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "run ledger" in out
+        assert "r0001" in out and "r0003" in out
+        assert "record" in out and "replay" in out
+
+    def test_runs_show(self, two_seed_setup, capsys):
+        _, ledger = two_seed_setup
+        assert main(["runs", "show", "r0002", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "run r0002" in out
+        assert "compression rate" in out
+
+    def test_runs_show_unknown_fails(self, two_seed_setup):
+        _, ledger = two_seed_setup
+        with pytest.raises(SystemExit):
+            main(["runs", "show", "r9999", "--ledger", ledger])
+
+    def test_runs_trend(self, two_seed_setup, capsys):
+        _, ledger = two_seed_setup
+        assert main(["runs", "trend", "--ledger", ledger]) == 0
+        out = capsys.readouterr().out
+        assert "run trends" in out
+        assert "bytes_per_event" in out
+
+
 class TestTraceTelemetry:
     def test_trace_exports_valid_artifacts(self, tmp_path, capsys):
         import json
