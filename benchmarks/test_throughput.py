@@ -5,17 +5,19 @@ producing 258 events/s/process, so the bounded observe queue never blocks;
 the 8-byte clock piggyback costs ~1.18% runtime.
 """
 
+import os
 import time
 import warnings
 
 import pytest
 
 from repro.core import build_tables, compress, encode_chunk_sequence, Method
+from repro.core.columnar import ColumnarTable, encode_columnar_chunk
 from repro.core.events import MFKind, MFOutcome, ReceiveEvent
 from repro.replay import (
     FluidQueueModel,
     RecordSession,
-    encode_chunk_sequence_parallel,
+    encode_chunk_sequence_sharded,
 )
 from repro.replay.cost_model import cdc_cost_model
 from repro.sim import LatencyModel
@@ -166,9 +168,45 @@ class TestKernelSpeedup:
         assert dec_speedup >= 3.0
 
 
+def _available_cores() -> int:
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def _columnar_stream(n_chunks=128, chunk=4096, nsenders=8, seed=0):
+    """Recorder-shaped columnar chunks: near-sorted with local inversions.
+
+    This is what the columnar builders hand the encoder at scale — mostly
+    reference-ordered (hidden determinism, Figure 17) with occasional
+    bursts of reordering from network noise.
+    """
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    tables = []
+    base = 0
+    for _ in range(n_chunks):
+        ranks = rng.integers(0, nsenders, chunk).astype(np.int64)
+        clocks = (base + np.arange(chunk, dtype=np.int64)) * nsenders + ranks
+        if rng.random() < 0.2:  # a disordered chunk: ~2% adjacent swaps
+            idx = rng.integers(0, chunk - 1, chunk // 50)
+            for j in idx:
+                clocks[[j, j + 1]] = clocks[[j + 1, j]]
+                ranks[[j, j + 1]] = ranks[[j + 1, j]]
+        base += chunk
+        tables.append(ColumnarTable("cs", ranks, clocks))
+    return tables
+
+
 class TestParallelEncode:
     def test_parallel_chunk_encode(self, bench_results):
-        """Single-thread vs pooled chunk encoding over many callsites."""
+        """Serial vs process-pool sharded chunk encoding over many callsites.
+
+        Correctness (identical chunks) is asserted on any machine; the
+        ≥2x speedup gate needs real parallel hardware and *skips* — never
+        silently passes — when fewer than 4 cores are available.
+        """
         outs = synthetic_stream(60_000)
         # spread the stream over 8 callsites so the pool has independent work
         outs = [
@@ -184,82 +222,189 @@ class TestParallelEncode:
             by_callsite.setdefault(t.callsite, []).append(t)
 
         def serial():
-            return [
-                c
-                for ts in by_callsite.values()
-                for c in encode_chunk_sequence(ts)
-            ]
+            return encode_chunk_sequence_sharded(tables, workers=1)
 
         def parallel():
-            return encode_chunk_sequence_parallel(tables, workers=4)
+            return encode_chunk_sequence_sharded(tables, workers=4)
 
         serial_chunks = serial()
         parallel_chunks = parallel()
-        # identical output, callsite by callsite, regardless of scheduling
+        assert len(serial_chunks) == len(tables)
+        assert parallel_chunks == serial_chunks
+        # and both equal the reference single-callsite sequential encode
         grouped = {}
         for c in parallel_chunks:
             grouped.setdefault(c.callsite, []).append(c)
-        assert {cs: cv for cs, cv in grouped.items()} == {
+        assert grouped == {
             cs: encode_chunk_sequence(ts) for cs, ts in by_callsite.items()
         }
 
-        import os
-
-        cores = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
+        cores = _available_cores()
+        bench_results["cpu_cores"] = cores
+        if cores < 4:
+            pytest.skip(
+                f"parallel ≥2x speedup gate needs ≥4 cores, have {cores}; "
+                "correctness was still asserted above"
+            )
         t_serial = _best_of(serial, repeats=3)
         t_parallel = _best_of(parallel, repeats=3)
         speedup = t_serial / t_parallel
         bench_results["parallel_encode_speedup"] = round(speedup, 2)
         bench_results["parallel_encode_workers"] = 4
-        bench_results["cpu_cores"] = cores
         emit(
             "throughput_parallel_encode",
             render_table(
-                "Chunk encoding: single thread vs 4-worker pool",
+                "Chunk encoding: serial vs 4-worker process pool",
                 ["path", "wall time (s)"],
                 [
                     ("serial", f"{t_serial:.4f}"),
-                    ("parallel (4 workers)", f"{t_parallel:.4f}"),
+                    ("sharded (4 processes)", f"{t_parallel:.4f}"),
                 ],
                 note=f"speedup {speedup:.2f}x on {len(tables)} chunks, "
-                f"{cores} core(s) available; thread speedup requires "
-                "multiple cores (numpy stages release the GIL)",
+                f"{cores} core(s); workers map one shared-memory segment, "
+                "no per-chunk pickling",
             ),
         )
-        assert len(serial_chunks) == len(tables)
-        # on a single core the pool is pure overhead; only demand a win
-        # when the hardware can actually deliver one
-        if cores and cores >= 4:
-            assert speedup > 1.0
+        assert speedup >= 2.0
+
+    def test_columnar_aggregate_throughput(self, bench_results):
+        """Aggregate encode rate on recorder-shaped columnar chunks.
+
+        The paper-scale bar: ≥5M events/s through the columnar encode path
+        on near-sorted streams (the recorder's steady state), measured over
+        all available workers — on one core this is the single-process
+        columnar rate itself.
+        """
+        tables = _columnar_stream()
+        total = sum(t.num_events for t in tables)
+        workers = min(4, _available_cores())
+
+        def encode_all():
+            if workers <= 1:
+                for t in tables:
+                    encode_columnar_chunk(t, replay_assist=True)
+            else:
+                encode_chunk_sequence_sharded(
+                    tables, replay_assist=True, workers=workers
+                )
+
+        best = _best_of(encode_all, repeats=3)
+        rate = total / best
+        bench_results["encode_events_per_sec_aggregate"] = round(rate)
+        bench_results["encode_aggregate_workers"] = workers
+        emit(
+            "throughput_columnar_aggregate",
+            render_table(
+                "Columnar encode: aggregate throughput (near-sorted stream)",
+                ["metric", "value"],
+                [
+                    ("events", f"{total:,}"),
+                    ("workers", workers),
+                    ("wall time (s)", f"{best:.3f}"),
+                    ("events/second", f"{rate:,.0f}"),
+                ],
+                note="bar: ≥5M events/s aggregate so paper-scale rank "
+                "counts stay I/O-bound",
+            ),
+        )
+        assert rate >= 5_000_000
+
+
+#: Welford z-gate: fail when the fresh number sits this many σ below the
+#: recorded history's mean (regression direction only).
+GUARD_Z = 3.0
+#: minimum history length before the z-gate arms (small-sample σ is noise).
+GUARD_MIN_RUNS = 3
+#: history entries kept per metric in BENCH_encoder.json.
+GUARD_HISTORY = 20
 
 
 class TestRegressionGuard:
-    def test_encoder_throughput_not_regressed(self, bench_results):
-        """Compare this run's encoder rate to the last BENCH_encoder.json.
+    def _welford_gate(self, bench_results, previous, metric, current):
+        """Hard-floor + Welford z-score regression gate for one metric.
 
-        >25% slower fails the suite; any slowdown below that warns. Runs
-        after the throughput test (file order), before the session-exit
-        rewrite of the JSON, so the comparison is old-file vs fresh number.
+        Maintains ``<metric>_history`` in BENCH_encoder.json (capped at
+        :data:`GUARD_HISTORY`); once :data:`GUARD_MIN_RUNS` runs are
+        recorded, a fresh value more than :data:`GUARD_Z` σ *below* the
+        running mean fails loudly instead of warning.
         """
-        current = bench_results.get("encoder_events_per_sec")
-        if current is None:
-            pytest.skip("encoder throughput was not measured this session")
-        previous = load_previous_bench()
-        if not previous or "encoder_events_per_sec" not in previous:
-            pytest.skip("no previous BENCH_encoder.json to compare against")
-        prev = previous["encoder_events_per_sec"]
+        from repro.obs.monitor import RunningStats
+
+        history = []
+        if previous:
+            history = [
+                float(v)
+                for v in previous.get(f"{metric}_history", [])
+                if isinstance(v, (int, float))
+            ]
+            if not history and metric in previous:
+                history = [float(previous[metric])]
+        bench_results[f"{metric}_history"] = (history + [current])[-GUARD_HISTORY:]
+        if not history:
+            pytest.skip(f"no previous BENCH_encoder.json history for {metric}")
+        prev = history[-1]
         ratio = current / prev
         if ratio < 0.75:
             pytest.fail(
-                f"encoder throughput regressed {100 * (1 - ratio):.0f}%: "
-                f"{current:,} events/s now vs {prev:,} recorded"
+                f"{metric} regressed {100 * (1 - ratio):.0f}%: "
+                f"{current:,.2f} now vs {prev:,.2f} recorded"
             )
+        stats = RunningStats()
+        for v in history:
+            stats.push(v)
+        if stats.count >= GUARD_MIN_RUNS:
+            z = stats.zscore(current)
+            if z < -GUARD_Z:
+                pytest.fail(
+                    f"{metric} {current:,.2f} sits {-z:.1f}σ below the "
+                    f"ledger mean {stats.mean:,.2f} over {stats.count} runs "
+                    f"(gate: {GUARD_Z}σ)"
+                )
         if ratio < 1.0:
             warnings.warn(
-                f"encoder throughput down {100 * (1 - ratio):.1f}% vs last "
-                f"recorded run ({current:,} vs {prev:,} events/s)",
-                stacklevel=1,
+                f"{metric} down {100 * (1 - ratio):.1f}% vs last recorded "
+                f"run ({current:,.2f} vs {prev:,.2f})",
+                stacklevel=2,
             )
+
+    def test_encoder_throughput_not_regressed(self, bench_results):
+        """Welford-gate the scalar encoder rate against recorded history."""
+        current = bench_results.get("encoder_events_per_sec")
+        if current is None:
+            pytest.skip("encoder throughput was not measured this session")
+        self._welford_gate(
+            bench_results,
+            load_previous_bench(),
+            "encoder_events_per_sec",
+            float(current),
+        )
+
+    def test_aggregate_throughput_not_regressed(self, bench_results):
+        """Welford-gate the columnar aggregate rate the same way."""
+        current = bench_results.get("encode_events_per_sec_aggregate")
+        if current is None:
+            pytest.skip("aggregate throughput was not measured this session")
+        self._welford_gate(
+            bench_results,
+            load_previous_bench(),
+            "encode_events_per_sec_aggregate",
+            float(current),
+        )
+
+    def test_parallel_speedup_not_regressed(self, bench_results):
+        """Welford-gate the sharded speedup whenever it was measured."""
+        current = bench_results.get("parallel_encode_speedup")
+        if current is None:
+            pytest.skip(
+                "parallel speedup was not measured this session "
+                "(needs ≥4 cores)"
+            )
+        self._welford_gate(
+            bench_results,
+            load_previous_bench(),
+            "parallel_encode_speedup",
+            float(current),
+        )
 
 
 class TestQueueBalance:

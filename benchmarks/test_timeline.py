@@ -25,7 +25,7 @@ import warnings
 
 import pytest
 
-from benchmarks.conftest import emit, load_previous_bench
+from benchmarks.conftest import emit
 from repro.analysis import render_table
 from repro.core import Method, compress
 from repro.core.events import MFKind, MFOutcome, ReceiveEvent
@@ -187,47 +187,95 @@ def synthetic_stream(n):
     return outs
 
 
-class TestEncoderThroughputGuard:
-    def test_telemetry_off_encoder_not_regressed(self, timeline_results):
-        """The disabled observability layer must not tax the encoder.
+def _load_previous_timeline() -> dict | None:
+    try:
+        with open(BENCH_TIMELINE_JSON, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return None
 
-        Measures CDC encoder throughput with telemetry off (the default
-        registry is the shared no-op) and compares against the rate the
-        last benchmark session recorded in ``BENCH_encoder.json``: >25%
+
+class TestEncoderThroughputGuard:
+    def test_telemetry_overhead_amortized_on_hot_path(self, timeline_results):
+        """Enabled telemetry must cost the columnar encoder almost nothing.
+
+        The hot path publishes obs per *chunk* (one span + three counter
+        adds per flush), never per event — so encoding the same columnar
+        chunks under an enabled registry must stay within a few percent of
+        the telemetry-off rate. ``encoder_guard_ratio`` is that on/off
+        ratio, measured like-for-like in one process.
+        """
+        from repro.core.columnar import build_columnar_tables, encode_columnar_chunk
+        from repro.obs import TelemetryRegistry, use_registry
+
+        outs = synthetic_stream(20_000)
+        tables = [
+            t
+            for ts in build_columnar_tables(outs, chunk_events=1024).values()
+            for t in ts
+        ]
+        n = sum(t.num_events for t in tables)
+
+        def encode_all():
+            for t in tables:
+                encode_columnar_chunk(t, replay_assist=True)
+
+        t_off = _best_of(encode_all, repeats=5)
+        registry = TelemetryRegistry("bench")
+        with use_registry(registry):
+            t_on = _best_of(encode_all, repeats=5)
+        ratio = t_off / t_on  # 1.0 = free; below 1 means telemetry taxed us
+        timeline_results["encoder_guard_ratio"] = round(ratio, 3)
+        timeline_results["encoder_events_per_sec_telemetry_off"] = round(n / t_off)
+        timeline_results["encoder_events_per_sec_telemetry_on"] = round(n / t_on)
+        emit(
+            "timeline_encoder_guard",
+            render_table(
+                "Columnar encoder: telemetry on vs off (per-chunk obs)",
+                ["configuration", "events/s"],
+                [
+                    ("telemetry off", f"{n / t_off:,.0f}"),
+                    ("telemetry on", f"{n / t_on:,.0f}"),
+                    ("off/on ratio", f"{ratio:.3f}"),
+                ],
+                note="obs is amortized per chunk (span + 3 counters per "
+                "flush), so enabling it must be nearly free",
+            ),
+        )
+        # per-chunk amortization: enabled telemetry may cost at most 25%
+        if ratio < 0.8:
+            pytest.fail(
+                f"enabled telemetry taxes the columnar encoder "
+                f"{100 * (t_on / t_off - 1):.0f}% — obs is no longer "
+                "amortized per batch"
+            )
+
+    def test_telemetry_off_rate_not_regressed(self, timeline_results):
+        """The telemetry-off compress rate must hold against *its own* history.
+
+        Compares like against like: the previous ``BENCH_timeline.json``
+        measurement of this exact loop (not BENCH_encoder.json's
+        pytest-benchmark number, which uses a different harness). >25%
         slower fails, any slowdown warns.
         """
         outs = synthetic_stream(20_000)
         t = _best_of(lambda: compress(outs, Method.CDC), repeats=5)
         current = len(outs) / t
-        timeline_results["encoder_events_per_sec_telemetry_off"] = round(current)
-        previous = load_previous_bench()
-        if not previous or "encoder_events_per_sec" not in previous:
-            pytest.skip("no BENCH_encoder.json to compare against")
-        prev = previous["encoder_events_per_sec"]
+        timeline_results["compress_events_per_sec_telemetry_off"] = round(current)
+        previous = _load_previous_timeline()
+        prev = (previous or {}).get("compress_events_per_sec_telemetry_off")
+        if prev is None:
+            pytest.skip("no previous BENCH_timeline.json compress rate")
         ratio = current / prev
-        timeline_results["encoder_guard_ratio"] = round(ratio, 3)
-        emit(
-            "timeline_encoder_guard",
-            render_table(
-                "Telemetry-off encoder throughput vs recorded baseline",
-                ["metric", "value"],
-                [
-                    ("this run (events/s)", f"{current:,.0f}"),
-                    ("BENCH_encoder.json", f"{prev:,}"),
-                    ("ratio", f"{ratio:.2f}"),
-                ],
-                note="guard: <0.75 fails, <1.0 warns",
-            ),
-        )
         if ratio < 0.75:
             pytest.fail(
-                f"telemetry-off encoder throughput regressed "
+                f"telemetry-off compress throughput regressed "
                 f"{100 * (1 - ratio):.0f}%: {current:,.0f} events/s now vs "
                 f"{prev:,} recorded"
             )
         if ratio < 1.0:
             warnings.warn(
-                f"telemetry-off encoder throughput down "
+                f"telemetry-off compress throughput down "
                 f"{100 * (1 - ratio):.1f}% vs recorded "
                 f"({current:,.0f} vs {prev:,} events/s)",
                 stacklevel=1,

@@ -18,6 +18,7 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 from typing import Sequence
 
 from repro.analysis import human_bytes, render_table
@@ -708,6 +709,77 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile a record (and optionally replay) pass; print hotspots.
+
+    The one-command perf baseline: every optimization PR runs this before
+    and after to show where the time went. Sorted by cumulative time so
+    the pipeline stages (engine loop, builder adds, chunk encodes) stack
+    naturally; ``--sort tottime`` surfaces leaf hotspots instead.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    params = _parse_params(args.param)
+    program, _ = make_workload(args.workload, args.nprocs, **params)
+
+    def record_pass():
+        return RecordSession(
+            program,
+            nprocs=args.nprocs,
+            network_seed=args.network_seed,
+            chunk_events=args.chunk_events,
+            keep_outcomes=False,
+        ).run()
+
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    if args.mode == "record":
+        result = profiler.runcall(record_pass)
+    else:  # record outside the profiler, replay under it
+        result = record_pass()
+        profiler.runcall(
+            lambda: ReplaySession(
+                program, result.archive, network_seed=args.network_seed + 1
+            ).run()
+        )
+    wall = time.perf_counter() - t0
+    events = result.stats.total_events
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort)
+    rows = []
+    width = args.top
+    for func, (cc, nc, tt, ct, _callers) in sorted(
+        stats.stats.items(),
+        key=lambda kv: kv[1][3 if args.sort == "cumulative" else 2],
+        reverse=True,
+    )[:width]:
+        filename, line, name = func
+        where = name if filename == "~" else f"{os.path.basename(filename)}:{line}({name})"
+        rows.append((f"{nc:,}", f"{tt:.3f}", f"{ct:.3f}", where))
+    print(
+        render_table(
+            f"cProfile hotspots — {args.mode} of {args.workload} at "
+            f"{args.nprocs} ranks ({events:,} engine events)",
+            ["ncalls", "tottime (s)", "cumtime (s)", "function"],
+            rows,
+            note=f"sorted by {args.sort}; wall {wall:.2f}s, "
+            f"{events / max(wall, 1e-9):,.0f} events/s including profiler "
+            "overhead",
+        )
+    )
+    if args.out:
+        stats.dump_stats(args.out)
+        print(f"profile data: {args.out} (load with pstats or snakeviz)")
+    if args.raw:
+        buf = io.StringIO()
+        pstats.Stats(profiler, stream=buf).sort_stats(args.sort).print_stats(width)
+        print(buf.getvalue())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -940,6 +1012,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_transcode.add_argument("--trace", required=True, help="trace file (JSON lines)")
     p_transcode.set_defaults(func=cmd_transcode)
+
+    p_profile = sub.add_parser(
+        "profile", help="cProfile a workload pass and print the hotspot table"
+    )
+    _add_workload_args(p_profile)
+    p_profile.add_argument("--chunk-events", type=int, default=1024)
+    p_profile.add_argument(
+        "--mode", choices=("record", "replay"), default="record",
+        help="profile the record pass, or a replay of a fresh record",
+    )
+    p_profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="hotspot rows to print",
+    )
+    p_profile.add_argument(
+        "--sort", choices=("cumulative", "tottime"), default="cumulative",
+        help="ranking key for the hotspot table",
+    )
+    p_profile.add_argument(
+        "--out", metavar="FILE", help="also dump raw pstats data to FILE"
+    )
+    p_profile.add_argument(
+        "--raw", action="store_true",
+        help="additionally print the full pstats report",
+    )
+    p_profile.set_defaults(func=cmd_profile)
     return parser
 
 

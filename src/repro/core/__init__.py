@@ -41,12 +41,20 @@ from repro.core.pipeline import (
     reconstruct_table,
     reference_order,
 )
+from repro.core.columnar import (
+    ColumnarTable,
+    ColumnarTableBuilder,
+    build_columnar_tables,
+    encode_columnar_chunk,
+)
 from repro.core.record_table import RecordTable, RecordTableBuilder, build_tables
 
 __all__ = [
     "ALL_METHODS",
     "DEFAULT_CHUNK_EVENTS",
     "CDCChunk",
+    "ColumnarTable",
+    "ColumnarTableBuilder",
     "CompressionReport",
     "EpochLine",
     "MFKind",
@@ -60,12 +68,14 @@ __all__ = [
     "ValueCountBreakdown",
     "aggregate_reports",
     "apply_permutation",
+    "build_columnar_tables",
     "build_tables",
     "chunk_members",
     "compare_methods",
     "compress",
     "decode_permutation",
     "encode_chunk",
+    "encode_columnar_chunk",
     "encode_chunk_sequence",
     "encode_permutation",
     "kernels",

@@ -1,0 +1,390 @@
+"""Columnar record buffers — the paper-scale recording hot path.
+
+The object pipeline (:mod:`repro.core.record_table` →
+:func:`repro.core.pipeline.encode_chunk`) builds a Python list of
+:class:`~repro.core.events.ReceiveEvent` objects per chunk and converts it
+to numpy arrays with ``np.fromiter`` at encode time. At paper-scale rank
+counts that conversion — plus the per-event object churn feeding it — is
+the dominant recording cost.
+
+This module keeps the ``(sender rank, piggybacked clock)`` identifier
+columns in preallocated int64 numpy arrays from the moment an MF outcome is
+observed:
+
+* :class:`ColumnarTableBuilder` appends into grow-by-doubling arrays (the
+  backing capacity survives flushes, so a steady-state rank allocates
+  nothing per chunk);
+* :class:`ColumnarTable` is the sealed chunk — two contiguous arrays plus
+  the same with_next / unmatched side tables as :class:`RecordTable`;
+* :func:`encode_columnar_chunk` CDC-encodes the arrays directly: no object
+  iteration, a vectorized epoch line, and an identity-permutation
+  short-circuit for the near-sorted chunks that dominate hidden-
+  deterministic workloads (Figure 17).
+
+The encoded :class:`~repro.core.pipeline.CDCChunk` is **identical** — field
+for field and byte for byte after serialization — to what the object path
+produces for the same outcome stream; ``tests/core`` asserts this on every
+workload. The one restriction: clocks and ranks must fit int64 (the object
+path's arbitrary-precision fallback has no columnar analogue; the recorder
+keeps the object path available for that corner).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.epoch import EpochLine
+from repro.core.events import MFOutcome, ReceiveEvent
+from repro.core.pipeline import CDCChunk, encode_chunk
+from repro.core.permutation import PermutationDiff, encode_permutation
+from repro.core.record_table import RecordTable
+from repro.errors import DecodingError
+from repro.obs import get_registry, span
+
+__all__ = [
+    "ColumnarTable",
+    "ColumnarTableBuilder",
+    "as_columnar_table",
+    "build_columnar_tables",
+    "columnar_epoch_line",
+    "encode_columnar_chunk",
+    "encode_table",
+]
+
+#: starting capacity of a builder's backing arrays (doubles as needed).
+_INITIAL_CAPACITY = 256
+
+
+class ColumnarTable:
+    """One sealed chunk of a callsite's matched receives, as columns.
+
+    ``ranks[i]`` / ``clocks[i]`` identify the i-th matched receive in
+    observed (delivery) order — the same information as
+    ``RecordTable.matched`` without the per-event objects. The side tables
+    carry the Figure 6 with_next / unmatched structure unchanged.
+    """
+
+    __slots__ = ("callsite", "ranks", "clocks", "with_next_indices", "unmatched_runs")
+
+    def __init__(
+        self,
+        callsite: str,
+        ranks: np.ndarray,
+        clocks: np.ndarray,
+        with_next_indices: tuple[int, ...] = (),
+        unmatched_runs: tuple[tuple[int, int], ...] = (),
+    ) -> None:
+        if ranks.shape != clocks.shape:
+            raise ValueError("rank and clock columns must have equal length")
+        self.callsite = callsite
+        self.ranks = ranks
+        self.clocks = clocks
+        self.with_next_indices = with_next_indices
+        self.unmatched_runs = unmatched_runs
+
+    @property
+    def num_events(self) -> int:
+        return int(self.ranks.shape[0])
+
+    def to_record_table(self) -> RecordTable:
+        """Materialize the equivalent object table (tests, diagnostics)."""
+        return RecordTable(
+            self.callsite,
+            tuple(
+                ReceiveEvent(r, c)
+                for r, c in zip(self.ranks.tolist(), self.clocks.tolist())
+            ),
+            self.with_next_indices,
+            self.unmatched_runs,
+        )
+
+
+class ColumnarTableBuilder:
+    """Streaming builder: MF outcomes in, :class:`ColumnarTable` chunks out.
+
+    Drop-in for :class:`~repro.core.record_table.RecordTableBuilder` (same
+    ``add`` / ``flush`` / ``num_events`` / ``dirty`` surface); the flushed
+    chunks feed :func:`encode_columnar_chunk` instead of ``encode_chunk``.
+    """
+
+    __slots__ = (
+        "callsite",
+        "_ranks",
+        "_clocks",
+        "_count",
+        "with_next_indices",
+        "unmatched_runs",
+        "_pending_unmatched",
+    )
+
+    def __init__(self, callsite: str, capacity: int = _INITIAL_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.callsite = callsite
+        self._ranks = np.empty(capacity, dtype=np.int64)
+        self._clocks = np.empty(capacity, dtype=np.int64)
+        self._count = 0
+        self.with_next_indices: list[int] = []
+        self.unmatched_runs: list[tuple[int, int]] = []
+        self._pending_unmatched = 0
+
+    def add(self, outcome: MFOutcome) -> None:
+        """Record one MF call outcome (same semantics as the object builder)."""
+        if outcome.callsite != self.callsite:
+            raise ValueError(
+                f"outcome for callsite {outcome.callsite!r} fed to builder "
+                f"for {self.callsite!r}"
+            )
+        events = outcome.matched
+        if not events:
+            self._pending_unmatched += 1
+            return
+        n = self._count
+        if self._pending_unmatched:
+            self.unmatched_runs.append((n, self._pending_unmatched))
+            self._pending_unmatched = 0
+        end = n + len(events)
+        if end > self._ranks.shape[0]:
+            self._grow(end)
+        ranks = self._ranks
+        clocks = self._clocks
+        if len(events) == 1:  # the overwhelmingly common case
+            ev = events[0]
+            ranks[n] = ev.rank
+            clocks[n] = ev.clock
+            self._count = end
+            return
+        self.with_next_indices.extend(range(n, end - 1))
+        for ev in events:
+            ranks[n] = ev.rank
+            clocks[n] = ev.clock
+            n += 1
+        self._count = end
+
+    def _grow(self, need: int) -> None:
+        capacity = self._ranks.shape[0]
+        while capacity < need:
+            capacity *= 2
+        for name in ("_ranks", "_clocks"):
+            old = getattr(self, name)
+            new = np.empty(capacity, dtype=np.int64)
+            new[: self._count] = old[: self._count]
+            setattr(self, name, new)
+
+    @property
+    def num_events(self) -> int:
+        return self._count
+
+    @property
+    def dirty(self) -> bool:
+        """True if the builder holds unflushed events."""
+        return bool(self._count or self._pending_unmatched)
+
+    def flush(self) -> ColumnarTable:
+        """Seal the current chunk and reset the builder (capacity kept)."""
+        if self._pending_unmatched:
+            self.unmatched_runs.append((self._count, self._pending_unmatched))
+            self._pending_unmatched = 0
+        table = ColumnarTable(
+            self.callsite,
+            self._ranks[: self._count].copy(),
+            self._clocks[: self._count].copy(),
+            tuple(self.with_next_indices),
+            tuple(self.unmatched_runs),
+        )
+        self._count = 0
+        self.with_next_indices.clear()
+        self.unmatched_runs.clear()
+        return table
+
+
+def as_columnar_table(table: "RecordTable | ColumnarTable") -> ColumnarTable:
+    """Coerce an object table to columns (no-op for columnar input)."""
+    if isinstance(table, ColumnarTable):
+        return table
+    n = len(table.matched)
+    return ColumnarTable(
+        table.callsite,
+        np.fromiter((ev.rank for ev in table.matched), np.int64, count=n),
+        np.fromiter((ev.clock for ev in table.matched), np.int64, count=n),
+        table.with_next_indices,
+        table.unmatched_runs,
+    )
+
+
+def build_columnar_tables(
+    outcomes: Sequence[MFOutcome], chunk_events: int | None = None
+) -> dict[str, list[ColumnarTable]]:
+    """Columnar analogue of :func:`repro.core.record_table.build_tables`."""
+    builders: dict[str, ColumnarTableBuilder] = {}
+    chunks: dict[str, list[ColumnarTable]] = {}
+    for outcome in outcomes:
+        builder = builders.get(outcome.callsite)
+        if builder is None:
+            builder = builders[outcome.callsite] = ColumnarTableBuilder(
+                outcome.callsite
+            )
+            chunks[outcome.callsite] = []
+        builder.add(outcome)
+        if chunk_events is not None and builder.num_events >= chunk_events:
+            chunks[outcome.callsite].append(builder.flush())
+    for callsite, builder in builders.items():
+        if builder.dirty:
+            chunks[callsite].append(builder.flush())
+    return chunks
+
+
+def columnar_epoch_line(table: ColumnarTable) -> EpochLine:
+    """Per-sender clock ceilings of a columnar chunk (Section 3.5).
+
+    Equals ``EpochLine.from_events`` over the equivalent object table;
+    computed with one ``np.unique`` + an unordered per-sender max, so it is
+    safe to call before encoding (the parallel-submit ceiling advance).
+    """
+    n = table.num_events
+    if n == 0:
+        return EpochLine({})
+    uniq = np.unique(table.ranks)
+    maxc = np.full(uniq.shape[0], np.iinfo(np.int64).min, dtype=np.int64)
+    np.maximum.at(maxc, uniq.searchsorted(table.ranks), table.clocks)
+    return EpochLine(dict(zip(uniq.tolist(), maxc.tolist())))
+
+
+def encode_columnar_chunk(
+    table: ColumnarTable,
+    replay_assist: bool = False,
+    prior_ceilings: Mapping[int, int] | None = None,
+) -> CDCChunk:
+    """CDC-encode one columnar chunk — array-native :func:`encode_chunk`.
+
+    Produces a :class:`CDCChunk` equal to ``encode_chunk`` over the
+    equivalent object table (same diff, same epoch, same hardening columns,
+    same serialized bytes). Two array-level fast paths:
+
+    * **presorted**: when the observed ``(clock, rank)`` keys are already
+      strictly ascending the observed order *is* the reference order — the
+      diff is empty by definition and the sort, inverse permutation, and
+      LIS are all skipped (the dominant case for hidden-deterministic
+      streams, Figure 17);
+    * the epoch line falls out of a single scatter over the clock-sorted
+      columns instead of a per-event dict pass.
+    """
+    ranks = table.ranks
+    clocks = table.clocks
+    n = int(ranks.shape[0])
+    with span("cdc.encode_chunk", callsite=table.callsite, events=n):
+        if n == 0:
+            chunk = CDCChunk(
+                callsite=table.callsite,
+                num_events=0,
+                diff=PermutationDiff(0, (), ()),
+                with_next_indices=table.with_next_indices,
+                unmatched_runs=table.unmatched_runs,
+                epoch=EpochLine({}),
+                sender_counts=(),
+                sender_min_clocks=(),
+                boundary_exceptions=(),
+                sender_sequence=() if replay_assist else None,
+            )
+        else:
+            presorted = n == 1 or bool(
+                (
+                    (clocks[1:] > clocks[:-1])
+                    | ((clocks[1:] == clocks[:-1]) & (ranks[1:] > ranks[:-1]))
+                ).all()
+            )
+            if presorted:
+                # strictly ascending keys: observed == reference, keys unique
+                sorted_ranks = ranks
+                sorted_clocks = clocks
+                diff = PermutationDiff(n, (), ())
+            else:
+                order = np.lexsort((ranks, clocks))  # Definition 6
+                sorted_ranks = ranks[order]
+                sorted_clocks = clocks[order]
+                if bool(
+                    (
+                        (sorted_clocks[1:] == sorted_clocks[:-1])
+                        & (sorted_ranks[1:] == sorted_ranks[:-1])
+                    ).any()
+                ):
+                    raise DecodingError("reference keys are not unique")
+                inv = np.empty(n, dtype=np.intp)
+                inv[order] = np.arange(n, dtype=np.intp)
+                diff = encode_permutation(inv.tolist(), validated=True)
+            # per-sender stats over dense rank-indexed arrays: sender ranks
+            # are small ints (≤ nprocs), so bincount + O(n) scatters beat
+            # np.unique's sort. Scatters run in ascending clock order — the
+            # last write per sender is its max clock, and over the reversed
+            # arrays its min. Huge rank values fall back to np.unique.
+            max_rank = int(ranks.max())
+            min_rank = int(ranks.min())
+            if min_rank >= 0 and max_rank <= 4 * n + 1024:
+                counts_dense = np.bincount(sorted_ranks, minlength=max_rank + 1)
+                uniq = np.flatnonzero(counts_dense)
+                uniq_list = uniq.tolist()
+                rank_counts = counts_dense[uniq]
+                stat = np.empty(max_rank + 1, dtype=np.int64)
+                stat[sorted_ranks[::-1]] = sorted_clocks[::-1]
+                min_by_rank = stat[uniq].tolist()
+                stat[sorted_ranks] = sorted_clocks
+                max_by_rank = stat[uniq].tolist()
+            else:
+                uniq, first_idx, rank_counts = np.unique(
+                    sorted_ranks, return_index=True, return_counts=True
+                )
+                uniq_list = uniq.tolist()
+                min_by_rank = sorted_clocks[first_idx].tolist()
+                maxc = np.empty(uniq.shape[0], dtype=np.int64)
+                maxc[uniq.searchsorted(sorted_ranks)] = sorted_clocks
+                max_by_rank = maxc.tolist()
+            sender_counts = tuple(zip(uniq_list, rank_counts.tolist()))
+            sender_min_clocks = tuple(zip(uniq_list, min_by_rank))
+            epoch = EpochLine(dict(zip(uniq_list, max_by_rank)))
+            exceptions: tuple = ()
+            if prior_ceilings:
+                ceil = np.fromiter(
+                    (prior_ceilings.get(r, -1) for r in uniq_list),
+                    np.int64,
+                    count=len(uniq_list),
+                )
+                over = clocks <= ceil[uniq.searchsorted(ranks)]
+                if bool(over.any()):
+                    exceptions = tuple(
+                        sorted(zip(ranks[over].tolist(), clocks[over].tolist()))
+                    )
+            chunk = CDCChunk(
+                callsite=table.callsite,
+                num_events=n,
+                diff=diff,
+                with_next_indices=table.with_next_indices,
+                unmatched_runs=table.unmatched_runs,
+                epoch=epoch,
+                sender_counts=sender_counts,
+                sender_min_clocks=sender_min_clocks,
+                boundary_exceptions=exceptions,
+                sender_sequence=tuple(ranks.tolist()) if replay_assist else None,
+            )
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("encode.chunks").add()
+        registry.counter("encode.events").add(n)
+        registry.counter("encode.moved_events").add(chunk.diff.num_moved)
+    return chunk
+
+
+def encode_table(
+    table: ColumnarTable | RecordTable,
+    replay_assist: bool = False,
+    prior_ceilings: Mapping[int, int] | None = None,
+) -> CDCChunk:
+    """Encode either table flavor (dispatch point for mixed callers)."""
+    if isinstance(table, ColumnarTable):
+        return encode_columnar_chunk(
+            table, replay_assist=replay_assist, prior_ceilings=prior_ceilings
+        )
+    return encode_chunk(
+        table, replay_assist=replay_assist, prior_ceilings=prior_ceilings
+    )

@@ -35,17 +35,24 @@ class MFKind(enum.Enum):
     WAITSOME = "waitsome"
     WAITALL = "waitall"
 
-    @property
-    def is_test(self) -> bool:
-        return self.value.startswith("test")
-
-    @property
-    def can_match_multiple(self) -> bool:
-        """True for MFs that may complete several requests in one call."""
-        return self in (MFKind.TESTSOME, MFKind.TESTALL, MFKind.WAITSOME, MFKind.WAITALL)
+    #: set below, once per member — attribute reads, not per-call string
+    #: work, because the engine consults these on every MF evaluation.
+    is_test: bool
+    can_match_multiple: bool
 
 
-@dataclass(frozen=True, order=True)
+for _kind in MFKind:
+    _kind.is_test = _kind.value.startswith("test")
+    _kind.can_match_multiple = _kind in (
+        MFKind.TESTSOME,
+        MFKind.TESTALL,
+        MFKind.WAITSOME,
+        MFKind.WAITALL,
+    )
+del _kind
+
+
+@dataclass(frozen=True, order=True, slots=True)
 class ReceiveEvent:
     """Identifier of one matched receive: ``(sender rank, piggybacked clock)``."""
 
@@ -58,7 +65,7 @@ class ReceiveEvent:
         return (self.clock, self.rank)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MFOutcome:
     """What one MF call returned to the application.
 

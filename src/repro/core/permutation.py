@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.core.edit_distance import stable_and_moved, validate_permutation
 from repro.errors import DecodingError
 
@@ -89,12 +91,21 @@ def encode_permutation(
     if not validated:
         validate_permutation(observed)
     _, moved = stable_and_moved(observed, validated=True)
+    n = len(observed)
     if not moved:
-        return PermutationDiff(len(observed), (), ())
+        return PermutationDiff(n, (), ())
+    if n >= 512:
+        # vectorized inverse permutation: pos[observed[p]] = p
+        arr = np.asarray(observed, dtype=np.int64)
+        pos = np.empty(n, dtype=np.int64)
+        pos[arr] = np.arange(n, dtype=np.int64)
+        moved_arr = np.asarray(moved, dtype=np.int64)
+        delays = tuple((pos[moved_arr] - moved_arr).tolist())
+        return PermutationDiff(n, tuple(moved), delays)
     pos = {x: p for p, x in enumerate(observed)}
     indices = tuple(moved)
     delays = tuple(pos[x] - x for x in moved)
-    return PermutationDiff(len(observed), indices, delays)
+    return PermutationDiff(n, indices, delays)
 
 
 def decode_permutation(diff: PermutationDiff) -> list[int]:

@@ -14,6 +14,10 @@ from repro.replay.parallel_encoder import (
     ParallelChunkEncoder,
     encode_chunk_sequence_parallel,
 )
+from repro.replay.shard_encoder import (
+    ShardedChunkEncoder,
+    encode_chunk_sequence_sharded,
+)
 from repro.replay.cost_model import (
     PerRankRecordingState,
     RecordingCostModel,
@@ -67,7 +71,9 @@ __all__ = [
     "RunResult",
     "SPSCQueue",
     "ParallelChunkEncoder",
+    "ShardedChunkEncoder",
     "encode_chunk_sequence_parallel",
+    "encode_chunk_sequence_sharded",
     "assert_replay_matches",
     "bytes_per_event",
     "cdc_cost_model",

@@ -29,8 +29,9 @@ import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Mapping, Sequence
 
+from repro.core.columnar import ColumnarTable, columnar_epoch_line, encode_table
 from repro.core.epoch import EpochLine
-from repro.core.pipeline import CDCChunk, encode_chunk
+from repro.core.pipeline import CDCChunk
 from repro.core.record_table import RecordTable
 from repro.obs import get_registry
 
@@ -76,7 +77,7 @@ class ParallelChunkEncoder:
 
     def submit(
         self,
-        table: RecordTable,
+        table: RecordTable | ColumnarTable,
         replay_assist: bool = False,
         prior_ceilings: Mapping[int, int] | None = None,
     ) -> Future[CDCChunk]:
@@ -90,7 +91,7 @@ class ParallelChunkEncoder:
             )
         else:
             future = self._pool.submit(
-                encode_chunk,
+                encode_table,
                 table,
                 replay_assist=replay_assist,
                 prior_ceilings=snapshot,
@@ -100,13 +101,13 @@ class ParallelChunkEncoder:
 
     def _encode_timed(
         self,
-        table: RecordTable,
+        table: RecordTable | ColumnarTable,
         replay_assist: bool,
         snapshot: dict[int, int] | None,
     ) -> CDCChunk:
         t0 = time.perf_counter_ns()
         try:
-            return encode_chunk(
+            return encode_table(
                 table, replay_assist=replay_assist, prior_ceilings=snapshot
             )
         finally:
@@ -157,19 +158,25 @@ class ParallelChunkEncoder:
         self.close()
 
 
-def advance_ceilings(ceilings: dict[int, int], table: RecordTable) -> None:
+def advance_ceilings(
+    ceilings: dict[int, int], table: RecordTable | ColumnarTable
+) -> None:
     """Fold a table's epoch line into the running per-sender ceilings.
 
     This is the synchronous producer-side step that decouples consecutive
     chunks of one callsite (see module docstring).
     """
-    for sender, ceiling in EpochLine.from_events(table.matched).max_clock_by_rank.items():
+    if isinstance(table, ColumnarTable):
+        epoch = columnar_epoch_line(table)
+    else:
+        epoch = EpochLine.from_events(table.matched)
+    for sender, ceiling in epoch.max_clock_by_rank.items():
         if ceilings.get(sender, -1) < ceiling:
             ceilings[sender] = ceiling
 
 
 def encode_chunk_sequence_parallel(
-    tables: Sequence[RecordTable],
+    tables: Sequence[RecordTable | ColumnarTable],
     replay_assist: bool = False,
     workers: int = DEFAULT_WORKERS,
 ) -> list[CDCChunk]:

@@ -23,14 +23,15 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.core.columnar import ColumnarTable, ColumnarTableBuilder, encode_table
 from repro.core.compression import ZLIB_LEVEL
 from repro.core.events import MFOutcome, outcomes_to_rows
 from repro.core.formats import serialize_cdc_chunks, serialize_raw_rows
-from repro.core.pipeline import encode_chunk
 from repro.core.record_table import RecordTable, RecordTableBuilder
 from repro.replay.chunk_store import RecordArchive
 from repro.replay.durable_store import DurableArchiveWriter
 from repro.replay.parallel_encoder import ParallelChunkEncoder, advance_ceilings
+from repro.replay.shard_encoder import ShardedChunkEncoder
 from repro.replay.cost_model import (
     PerRankRecordingState,
     RecordingCostModel,
@@ -52,7 +53,9 @@ class RankRecorderState:
 
     rank: int
     cost: PerRankRecordingState
-    builders: dict[str, RecordTableBuilder] = field(default_factory=dict)
+    builders: dict[str, RecordTableBuilder | ColumnarTableBuilder] = field(
+        default_factory=dict
+    )
     outcomes: list[MFOutcome] = field(default_factory=list)
     #: per callsite, per sender: highest clock in already-flushed chunks —
     #: lets flushes mark boundary-exception events (DESIGN.md §5.2).
@@ -75,13 +78,21 @@ class RecordingController(MFController):
         keep_outcomes: bool = True,
         replay_assist: bool = True,
         parallel_workers: int = 0,
+        parallel_backend: str = "thread",
         store: DurableArchiveWriter | None = None,
+        columnar: bool = True,
     ) -> None:
         super().__init__()
         self.chunk_events = chunk_events
         self.cost_model = cost_model if cost_model is not None else cdc_cost_model()
         self.keep_outcomes = keep_outcomes
         self.replay_assist = replay_assist
+        #: columnar order buffers (repro.core.columnar): identifier columns
+        #: live in preallocated int64 arrays and encode without per-event
+        #: object churn — byte-identical archives, much faster at scale.
+        #: ``False`` restores the object builders (needed only for clocks
+        #: beyond int64, which the simulator never produces).
+        self.columnar = columnar
         self.archive = RecordArchive(nprocs)
         #: optional durable writer: every flushed chunk also lands on
         #: storage as a CRC'd frame, immediately (Section 3.5 epoch lines
@@ -94,15 +105,24 @@ class RecordingController(MFController):
         }
         self._pending_events: dict[int, int] = {}
         #: opt-in parallel chunk encoding (Section 4.2 consumer fan-out):
-        #: flushes submit to a thread pool and the archive fills at finalize,
+        #: flushes submit to a worker pool and the archive fills at finalize,
         #: in flush order — chunk-for-chunk identical to the serial path.
+        #: ``parallel_backend`` picks the pool: ``"thread"`` (shared
+        #: interpreter, cheap submits) or ``"process"`` (GIL-free sharded
+        #: encode over shared-memory columns, see repro.replay.shard_encoder).
         if parallel_workers < 0:
             raise ValueError(f"parallel_workers must be >= 0, got {parallel_workers}")
-        self._encoder = (
-            ParallelChunkEncoder(workers=parallel_workers)
-            if parallel_workers > 0
-            else None
-        )
+        if parallel_backend not in ("thread", "process"):
+            raise ValueError(
+                f"parallel_backend must be 'thread' or 'process', "
+                f"got {parallel_backend!r}"
+            )
+        self._encoder = None
+        if parallel_workers > 0:
+            if parallel_backend == "process":
+                self._encoder = ShardedChunkEncoder(workers=parallel_workers)
+            else:
+                self._encoder = ParallelChunkEncoder(workers=parallel_workers)
         self._inflight: list[int] = []  # rank of each submitted flush
 
     # -- MFController hooks ---------------------------------------------------
@@ -116,7 +136,10 @@ class RecordingController(MFController):
             state.outcomes.append(outcome)
         builder = state.builders.get(outcome.callsite)
         if builder is None:
-            builder = state.builders[outcome.callsite] = RecordTableBuilder(
+            builder_cls = (
+                ColumnarTableBuilder if self.columnar else RecordTableBuilder
+            )
+            builder = state.builders[outcome.callsite] = builder_cls(
                 outcome.callsite
             )
         builder.add(outcome)
@@ -159,7 +182,9 @@ class RecordingController(MFController):
                 registry.gauge("record.queue_occupancy_max").set_max(occupancy)
             registry.gauge("record.queue_stall_seconds").set(total_stall)
 
-    def _flush(self, rank: int, builder: RecordTableBuilder) -> None:
+    def _flush(
+        self, rank: int, builder: RecordTableBuilder | ColumnarTableBuilder
+    ) -> None:
         table = builder.flush()
         if not (table.num_events or table.unmatched_runs):
             return
@@ -176,7 +201,7 @@ class RecordingController(MFController):
             return
         self._flush_table(rank, table)
 
-    def _flush_table(self, rank: int, table: RecordTable) -> None:
+    def _flush_table(self, rank: int, table: RecordTable | ColumnarTable) -> None:
         ceilings = self.ranks[rank].ceilings.setdefault(table.callsite, {})
         if self._encoder is not None:
             # parallel path: snapshot the ceilings into the task, advance
@@ -189,7 +214,7 @@ class RecordingController(MFController):
             advance_ceilings(ceilings, table)
             self._inflight.append(rank)
             return
-        chunk = encode_chunk(
+        chunk = encode_table(
             table, replay_assist=self.replay_assist, prior_ceilings=ceilings
         )
         for sender, ceiling in chunk.epoch.max_clock_by_rank.items():
@@ -254,7 +279,9 @@ class GzipRecordingController(RecordingController):
         keep_outcomes: bool = True,
         replay_assist: bool = True,
         parallel_workers: int = 0,
+        parallel_backend: str = "thread",
         store: DurableArchiveWriter | None = None,
+        columnar: bool = True,
     ) -> None:
         super().__init__(
             nprocs,
@@ -263,7 +290,9 @@ class GzipRecordingController(RecordingController):
             keep_outcomes=True,  # the raw format needs the full stream
             replay_assist=replay_assist,
             parallel_workers=parallel_workers,
+            parallel_backend=parallel_backend,
             store=store,
+            columnar=columnar,
         )
 
     def storage_bytes(self, rank: int) -> int:

@@ -274,6 +274,8 @@ class RecordSession(_Session):
         gzip_baseline: bool = False,
         replay_assist: bool = True,
         parallel_workers: int = 0,
+        parallel_backend: str = "thread",
+        columnar: bool = True,
         latency: LatencyModel | None = None,
         engine_kwargs: Mapping[str, Any] | None = None,
         store_dir: str | None = None,
@@ -309,6 +311,8 @@ class RecordSession(_Session):
         self.gzip_baseline = gzip_baseline
         self.replay_assist = replay_assist
         self.parallel_workers = parallel_workers
+        self.parallel_backend = parallel_backend
+        self.columnar = columnar
         #: when set, chunks stream to this directory as durable v2 frames
         #: while the run is in flight; the manifest commits at the end.
         self.store_dir = store_dir
@@ -336,7 +340,9 @@ class RecordSession(_Session):
             keep_outcomes=self.keep_outcomes,
             replay_assist=self.replay_assist,
             parallel_workers=self.parallel_workers,
+            parallel_backend=self.parallel_backend,
             store=writer,
+            columnar=self.columnar,
         )
         controller.archive.meta.update(self.meta)
         try:

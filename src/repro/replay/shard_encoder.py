@@ -1,0 +1,266 @@
+"""Process-pool sharded CDC encoding over shared-memory columns.
+
+:class:`~repro.replay.parallel_encoder.ParallelChunkEncoder` fans chunk
+encodes out to *threads*: its heavy stages release the GIL, but the Python
+glue between them (diff construction, tuple materialization, per-sender
+bookkeeping) serializes on it, which caps thread scaling well below core
+count. This module removes the interpreter from the contention path
+entirely: workers are **processes**, and the per-chunk identifier columns —
+the only O(events) input — cross the process boundary through one
+``multiprocessing.shared_memory`` segment instead of per-chunk pickles.
+
+The data flow per batch:
+
+1. the producer concatenates every table's ``(ranks, clocks)`` int64
+   columns into a single shared segment (one copy, no serialization);
+2. tables are split into contiguous shards balanced by event count; each
+   worker receives only the segment *name* plus per-table metadata
+   (callsite, offsets, side tables, ceiling snapshots — all tiny);
+3. workers map the segment zero-copy with numpy, run
+   :func:`~repro.core.columnar.encode_columnar_chunk` per table, and return
+   the encoded :class:`~repro.core.pipeline.CDCChunk` objects — the
+   *compressed* representation, orders of magnitude smaller than the input;
+4. results drain in submission order, so archive layout (and serialized
+   bytes) is identical to the serial and thread paths, chunk for chunk.
+
+Ceiling decoupling is the same trick the thread pool uses (see
+``parallel_encoder``): the producer advances per-callsite ceilings
+synchronously from each table's epoch line and snapshots them into the
+task, making every encode independent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from multiprocessing import shared_memory
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.columnar import (
+    ColumnarTable,
+    as_columnar_table,
+    encode_columnar_chunk,
+)
+from repro.core.pipeline import CDCChunk
+from repro.core.record_table import RecordTable
+from repro.obs import get_registry
+from repro.replay.parallel_encoder import advance_ceilings
+
+__all__ = [
+    "ShardedChunkEncoder",
+    "default_shard_workers",
+    "encode_chunk_sequence_sharded",
+]
+
+#: (callsite, start, end, with_next, unmatched_runs, ceilings) — everything
+#: a worker needs about one table besides the shared columns.
+_TableSpec = tuple
+
+
+def default_shard_workers() -> int:
+    """Worker count matched to the cores this process may actually use."""
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cores = os.cpu_count() or 1
+    return max(1, min(cores, 8))
+
+
+def _encode_specs(
+    buf, total: int, specs: Sequence[_TableSpec], replay_assist: bool
+) -> list[CDCChunk]:
+    """Encode table specs against a mapped column buffer (worker body).
+
+    Runs in its own frame so every numpy view of ``buf`` is dropped before
+    the caller closes the shared segment (close() refuses while exported
+    memoryviews exist).
+    """
+    cols = np.ndarray((2, total), dtype=np.int64, buffer=buf)
+    out = []
+    for callsite, start, end, with_next, unmatched, ceilings in specs:
+        table = ColumnarTable(
+            callsite, cols[0, start:end], cols[1, start:end], with_next, unmatched
+        )
+        out.append(
+            encode_columnar_chunk(
+                table, replay_assist=replay_assist, prior_ceilings=ceilings
+            )
+        )
+    return out
+
+
+def _encode_shard(
+    shm_name: str, total: int, specs: Sequence[_TableSpec], replay_assist: bool
+) -> list[CDCChunk]:
+    """Worker entry: attach the shared columns, encode one shard."""
+    shm = shared_memory.SharedMemory(name=shm_name)
+    try:
+        return _encode_specs(shm.buf, total, specs, replay_assist)
+    finally:
+        shm.close()
+
+
+def _column_segment(tables: Sequence[ColumnarTable]) -> tuple:
+    """Copy all tables' columns into one fresh shared segment.
+
+    Returns ``(shm, total, offsets)`` — the caller owns the segment and
+    must close+unlink it once the workers are done.
+    """
+    total = sum(t.num_events for t in tables)
+    shm = shared_memory.SharedMemory(create=True, size=max(16, 2 * total * 8))
+    cols = np.ndarray((2, total), dtype=np.int64, buffer=shm.buf)
+    offsets = []
+    off = 0
+    for t in tables:
+        n = t.num_events
+        cols[0, off : off + n] = t.ranks
+        cols[1, off : off + n] = t.clocks
+        offsets.append(off)
+        off += n
+    del cols
+    return shm, total, offsets
+
+
+def _balanced_shards(
+    specs: Sequence[_TableSpec], workers: int
+) -> list[list[_TableSpec]]:
+    """Split specs into ≤ ``workers`` contiguous runs of similar event count."""
+    total = sum(end - start for _, start, end, *_ in specs)
+    target = max(1, -(-total // workers))  # ceil division
+    shards: list[list[_TableSpec]] = []
+    current: list[_TableSpec] = []
+    load = 0
+    for spec in specs:
+        current.append(spec)
+        load += spec[2] - spec[1]
+        if load >= target and len(shards) < workers - 1:
+            shards.append(current)
+            current = []
+            load = 0
+    if current:
+        shards.append(current)
+    return shards
+
+
+class ShardedChunkEncoder:
+    """Drop-in for :class:`ParallelChunkEncoder` backed by processes.
+
+    Same submit/drain contract: results come back in submission order and
+    are chunk-for-chunk identical to the serial encode. Each submitted
+    table ships its columns through a dedicated shared-memory segment
+    (created at submit, reclaimed at drain) — nothing O(events) is pickled.
+    """
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        self.workers = workers if workers is not None else default_shard_workers()
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+        self._pending: list[tuple[Future, shared_memory.SharedMemory]] = []
+
+    def submit(
+        self,
+        table: RecordTable | ColumnarTable,
+        replay_assist: bool = False,
+        prior_ceilings: Mapping[int, int] | None = None,
+    ) -> Future:
+        """Queue one table for encoding; ceilings are copied immediately."""
+        ctable = as_columnar_table(table)
+        snapshot = dict(prior_ceilings) if prior_ceilings else None
+        shm, total, _ = _column_segment([ctable])
+        spec = (
+            ctable.callsite,
+            0,
+            total,
+            ctable.with_next_indices,
+            ctable.unmatched_runs,
+            snapshot,
+        )
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("encoder.tasks_submitted").add()
+        future = self._pool.submit(
+            _encode_shard, shm.name, total, [spec], replay_assist
+        )
+        self._pending.append((future, shm))
+        return future
+
+    def drain(self) -> list[CDCChunk]:
+        """Collect all completed chunks in submission order."""
+        pending, self._pending = self._pending, []
+        chunks: list[CDCChunk] = []
+        try:
+            for future, _ in pending:
+                chunks.extend(future.result())
+        finally:
+            for _, shm in pending:
+                shm.close()
+                shm.unlink()
+        return chunks
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def close(self) -> None:
+        for _, shm in self._pending:  # drain not reached (error paths)
+            shm.close()
+            shm.unlink()
+        self._pending = []
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ShardedChunkEncoder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def encode_chunk_sequence_sharded(
+    tables: Sequence[RecordTable | ColumnarTable],
+    replay_assist: bool = False,
+    workers: int | None = None,
+) -> list[CDCChunk]:
+    """Sharded equivalent of ``encode_chunk_sequence_parallel``.
+
+    Accepts tables of any mix of callsites; ceilings are tracked per
+    callsite in submission order and results come back in input order,
+    byte-identical per chunk to the sequential encoding. One shared
+    segment carries every table's columns; each worker encodes one
+    contiguous, event-balanced shard.
+    """
+    ctables = [as_columnar_table(t) for t in tables]
+    if workers is None:
+        workers = default_shard_workers()
+    ceilings_by_callsite: dict[str, dict[int, int]] = {}
+    specs: list[_TableSpec] = []
+    shm, total, offsets = _column_segment(ctables)
+    try:
+        for t, off in zip(ctables, offsets):
+            ceilings = ceilings_by_callsite.setdefault(t.callsite, {})
+            specs.append(
+                (
+                    t.callsite,
+                    off,
+                    off + t.num_events,
+                    t.with_next_indices,
+                    t.unmatched_runs,
+                    dict(ceilings) if ceilings else None,
+                )
+            )
+            advance_ceilings(ceilings, t)
+        if workers <= 1 or len(ctables) < 2:
+            # serial fast path: same segment, same specs, no pool
+            return _encode_specs(shm.buf, total, specs, replay_assist)
+        shards = _balanced_shards(specs, workers)
+        with ProcessPoolExecutor(max_workers=len(shards)) as pool:
+            futures = [
+                pool.submit(_encode_shard, shm.name, total, shard, replay_assist)
+                for shard in shards
+            ]
+            return [chunk for future in futures for chunk in future.result()]
+    finally:
+        shm.close()
+        shm.unlink()

@@ -19,12 +19,16 @@ record-and-replay mechanism lives.
 from __future__ import annotations
 
 import itertools
+import operator
 from dataclasses import dataclass, field
 
 from repro.errors import CommunicatorError
 from repro.sim.datatypes import Message, Request, RequestState
 
 _completion_counter = itertools.count()
+
+#: C-level sort key for completion order (hot in every Testsome sweep).
+_completion_key = operator.attrgetter("completion_time", "completion_seq")
 
 
 @dataclass
@@ -94,8 +98,9 @@ class MailBox:
         the natural order in which an unrecorded run hands completions to
         the application.
         """
-        ready = [r for r in requests if r.completed]
-        ready.sort(key=lambda r: (r.completion_time, r.completion_seq))
+        ready = [r for r in requests if r.state is RequestState.COMPLETED]
+        if len(ready) > 1:
+            ready.sort(key=_completion_key)
         return ready
 
     @staticmethod

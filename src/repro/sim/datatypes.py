@@ -21,7 +21,7 @@ ANY_SOURCE = -1
 ANY_TAG = -1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Status:
     """Completion status returned to the application (MPI_Status).
 
@@ -34,13 +34,14 @@ class Status:
     clock: int
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One in-flight message.
 
     ``seq`` is a per-channel sequence number enforcing/checking FIFO
     delivery; ``clock`` is the piggybacked Lamport timestamp attached at
-    send time (strictly increasing per sender).
+    send time (strictly increasing per sender). Slotted: the engine
+    allocates one per send, so layout matters at paper-scale rank counts.
     """
 
     src: int
@@ -70,7 +71,7 @@ class RequestState(enum.Enum):
 _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class Request:
     """A nonblocking operation handle (MPI_Request).
 

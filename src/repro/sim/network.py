@@ -83,8 +83,24 @@ def payload_nbytes(payload: object) -> int:
     """Rough message size estimate for the latency model.
 
     Exact sizes do not matter — only that bigger payloads cost more and the
-    estimate is deterministic across runs.
+    estimate is deterministic across runs. The estimate feeds the latency
+    draw, so any change to the returned values changes delivery order;
+    the exact-type fast paths below must agree with the isinstance chain.
     """
+    cls = payload.__class__
+    if cls is float or cls is int:
+        return 8
+    if cls is list or cls is tuple:
+        # common case: flat containers of scalars (particle batches,
+        # boundary lists) — one pass, no per-element recursion
+        total = 8
+        for item in payload:  # type: ignore[attr-defined]
+            icls = item.__class__
+            if icls is float or icls is int:
+                total += 8
+            else:
+                total += payload_nbytes(item)
+        return total
     if payload is None:
         return 8
     if isinstance(payload, (int, float)):

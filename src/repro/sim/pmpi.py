@@ -33,7 +33,7 @@ from typing import Sequence
 
 from repro.core.events import MFKind, MFOutcome, ReceiveEvent
 from repro.sim.communicator import MailBox
-from repro.sim.datatypes import Request
+from repro.sim.datatypes import Request, RequestState
 from repro.sim.process import MFCall, MFResult, SimProcess, undelivered_sends
 
 
@@ -53,12 +53,19 @@ def finalize_delivery(
     deterministic and outside the record, like the paper's sole focus on
     receives).
     """
-    for req in recv_order:
-        assert req.message is not None
-        proc.clock.on_receive(req.message.clock)
-        if proc.vector_clock is not None and req.message.vclock is not None:
-            proc.vector_clock.on_receive(req.message.vclock)
-    MailBox.mark_delivered(list(recv_order) + list(sends))
+    if recv_order:
+        if proc.vector_clock is None:
+            if len(recv_order) == 1:
+                proc.clock.on_receive(recv_order[0].message.clock)
+            else:
+                proc.clock.on_receive_batch(
+                    [req.message.clock for req in recv_order]
+                )
+        else:
+            for req in recv_order:
+                proc.clock.on_receive(req.message.clock)
+                if req.message.vclock is not None:
+                    proc.vector_clock.on_receive(req.message.vclock)
 
     # Presentation order = delivery order for receives (sends trail, sorted
     # by request position). The application therefore iterates messages in
@@ -66,25 +73,39 @@ def finalize_delivery(
     # differently between record and replay for wildcard receives — slots
     # are interchangeable; applications must not attach semantics to the
     # raw slot number beyond reposting (MCB-style patterns are fine).
-    index_of = {req: i for i, req in enumerate(call.requests)}
-    delivered = list(recv_order) + sorted(sends, key=lambda r: index_of[r])
+    requests = call.requests
+    if sends:
+        index_of = {req: i for i, req in enumerate(requests)}
+        delivered = list(recv_order) + sorted(sends, key=index_of.__getitem__)
+        indices = tuple(index_of[r] for r in delivered)
+    elif recv_order:
+        delivered = list(recv_order)
+        if len(requests) == 1:
+            indices = (0,)
+        else:
+            index_of = {req: i for i, req in enumerate(requests)}
+            indices = tuple(index_of[r] for r in delivered)
+    else:
+        delivered = []
+        indices = ()
+    MailBox.mark_delivered(delivered)
     result = MFResult(
         flag=flag,
-        indices=tuple(index_of[r] for r in delivered),
+        indices=indices,
         messages=tuple(r.message for r in delivered),
     )
 
     outcome: MFOutcome | None = None
-    if any(r.is_recv for r in call.requests):
-        events = tuple(
-            ReceiveEvent(req.message.src, req.message.clock) for req in recv_order
+    if recv_order:
+        outcome = MFOutcome(
+            call.callsite,
+            call.kind,
+            tuple(ReceiveEvent(req.message.src, req.message.clock) for req in recv_order),
         )
-        if events:
-            outcome = MFOutcome(call.callsite, call.kind, events)
-        elif call.kind.is_test:
-            outcome = MFOutcome(call.callsite, call.kind, ())
-        # A wait-family call that delivered only sends produces no outcome:
-        # it matched nothing the record cares about and cannot be "unmatched".
+    elif call.kind.is_test and any(r.is_recv for r in requests):
+        outcome = MFOutcome(call.callsite, call.kind, ())
+    # A wait-family call that delivered only sends produces no outcome:
+    # it matched nothing the record cares about and cannot be "unmatched".
     return result, outcome
 
 
@@ -132,41 +153,76 @@ class MFController:
     def decide(
         self, proc: SimProcess, call: MFCall
     ) -> tuple[list[Request], list[Request], bool] | None:
-        """Natural MPI semantics: (recv delivery order, sends, flag) or block."""
-        kind = call.kind
-        sends = undelivered_sends(call.requests)
-        recvs = [r for r in call.requests if r.is_recv]
-        ready = MailBox.completed_undelivered(recvs)
-        all_done = all(r.completed or r.delivered for r in call.requests) and all(
-            r.completed for r in recvs
-        )
+        """Natural MPI semantics: (recv delivery order, sends, flag) or block.
 
-        if kind in (MFKind.TEST, MFKind.WAIT):
-            req = call.requests[0]
-            if not req.is_recv:
-                return [], sends, True
+        Structured as one branch per MF family so each kind computes only
+        the state it needs — ``decide`` runs once per engine MF evaluation,
+        including every re-arm of a parked call, so it dominates record-mode
+        scheduling cost at high rank counts.
+        """
+        kind = call.kind
+        requests = call.requests
+        completed = RequestState.COMPLETED
+
+        if kind is MFKind.TEST or kind is MFKind.WAIT:
+            if len(requests) == 1:  # the only shape the Ctx API produces
+                req = requests[0]
+                if not req.is_recv:
+                    sends = [req] if req.state is completed else []
+                    return [], sends, True
+                if req.state is completed:
+                    return [req], [], True
+                return ([], [], False) if kind is MFKind.TEST else None
+            if not requests[0].is_recv:
+                return [], undelivered_sends(requests), True
+            ready = MailBox.completed_undelivered(
+                [r for r in requests if r.is_recv]
+            )
             if ready:
                 return ready[:1], [], True
             return ([], [], False) if kind is MFKind.TEST else None
-        if kind in (MFKind.TESTANY, MFKind.WAITANY):
-            if ready:
-                return ready[:1], [], True
-            if sends:
-                return [], sends[:1], True
-            return ([], [], False) if kind is MFKind.TESTANY else None
-        if kind in (MFKind.TESTSOME, MFKind.WAITSOME):
+
+        if kind is MFKind.TESTSOME or kind is MFKind.WAITSOME:
+            sends = undelivered_sends(requests)
+            ready = MailBox.completed_undelivered(
+                [r for r in requests if r.is_recv]
+            )
             if ready or sends:
                 return ready, sends, True
             return ([], [], False) if kind is MFKind.TESTSOME else None
-        if kind in (MFKind.TESTALL, MFKind.WAITALL):
+
+        if kind is MFKind.TESTANY or kind is MFKind.WAITANY:
+            ready = MailBox.completed_undelivered(
+                [r for r in requests if r.is_recv]
+            )
+            if ready:
+                return ready[:1], [], True
+            sends = undelivered_sends(requests)
+            if sends:
+                return [], sends[:1], True
+            return ([], [], False) if kind is MFKind.TESTANY else None
+
+        if kind is MFKind.TESTALL or kind is MFKind.WAITALL:
+            # The "all" family reports through the statuses array, which
+            # MPI fills in request order — so the application observes
+            # completions in request-array order, independent of arrival
+            # timing. This is what makes Irecv+Waitall halo exchanges
+            # *hidden deterministic* (Section 6.3). One pass computes both
+            # readiness and the request-order delivery list.
+            delivered_state = RequestState.DELIVERED
+            ready = []
+            all_done = True
+            for r in requests:
+                state = r.state
+                if r.is_recv:
+                    if state is completed:
+                        ready.append(r)
+                    else:
+                        all_done = False
+                elif state is not completed and state is not delivered_state:
+                    all_done = False
             if all_done:
-                # The "all" family reports through the statuses array, which
-                # MPI fills in request order — so the application observes
-                # completions in request-array order, independent of arrival
-                # timing. This is what makes Irecv+Waitall halo exchanges
-                # *hidden deterministic* (Section 6.3).
-                index_of = {r: i for i, r in enumerate(call.requests)}
-                return sorted(ready, key=lambda r: index_of[r]), sends, True
+                return ready, undelivered_sends(requests), True
             return ([], [], False) if kind is MFKind.TESTALL else None
         raise AssertionError(f"unhandled MF kind {kind}")  # pragma: no cover
 

@@ -35,7 +35,7 @@ from repro.sim.communicator import MailBox
 from repro.sim.datatypes import ANY_SOURCE, ANY_TAG, Message, Request, RequestState
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Yieldable: advance this rank's local virtual time by ``seconds``."""
 
@@ -46,7 +46,7 @@ class Compute:
             raise ValueError("compute time must be >= 0")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MFCall:
     """Yieldable: one matching-function invocation."""
 
@@ -68,7 +68,7 @@ class MFCall:
                 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MFResult:
     """What an MF call returns to the application.
 
@@ -100,6 +100,9 @@ class Ctx:
     def __init__(self, proc: "SimProcess", engine) -> None:
         self._proc = proc
         self._engine = engine
+        # workloads yield the same few compute costs millions of times;
+        # Compute is frozen, so instances are shareable
+        self._compute_cache: dict[float, Compute] = {}
 
     # -- identity ---------------------------------------------------------
 
@@ -167,7 +170,13 @@ class Ctx:
         return MFCall(MFKind.WAITALL, tuple(reqs), callsite or self._auto_callsite())
 
     def compute(self, seconds: float) -> Compute:
-        return Compute(seconds)
+        cache = self._compute_cache
+        op = cache.get(seconds)
+        if op is None:
+            op = Compute(seconds)
+            if len(cache) < 1024:  # bound for cost-per-call workloads
+                cache[seconds] = op
+        return op
 
     @staticmethod
     def _auto_callsite() -> str:
