@@ -309,6 +309,64 @@ class TestParallelEncode:
         )
         assert rate >= 5_000_000
 
+    def test_supervised_overhead_within_budget(self, bench_results):
+        """Fault-free supervision must cost ≤5% over the bare sharded pool.
+
+        The supervisor adds segment leases, ceiling snapshots, and a retry
+        loop around every batch; on the happy path all of that is
+        bookkeeping. Recorded as an *efficiency ratio* (bare/supervised,
+        higher is better, 1.0 = free) so the regression gate's
+        value-below-mean direction works unchanged.
+        """
+        from repro.replay import ShardedChunkEncoder, SupervisedEncoder
+
+        tables = _columnar_stream(n_chunks=64)
+
+        def bare():
+            with ShardedChunkEncoder(workers=4) as enc:
+                for t in tables:
+                    enc.submit(t, replay_assist=True)
+                return enc.drain()
+
+        def supervised():
+            enc = SupervisedEncoder(workers=4, backend="process")
+            try:
+                for t in tables:
+                    enc.submit(t, replay_assist=True)
+                return enc.drain()
+            finally:
+                enc.close()
+
+        assert supervised() == bare()  # identical chunks on any machine
+        cores = _available_cores()
+        bench_results["cpu_cores"] = cores
+        if cores < 4:
+            pytest.skip(
+                f"supervision ≤5% overhead gate needs ≥4 cores, have "
+                f"{cores}; correctness was still asserted above"
+            )
+        t_bare = _best_of(bare, repeats=3)
+        t_supervised = _best_of(supervised, repeats=3)
+        efficiency = t_bare / t_supervised
+        bench_results["supervised_encode_efficiency"] = round(efficiency, 3)
+        emit(
+            "throughput_supervised_overhead",
+            render_table(
+                "Sharded encode: bare pool vs supervised (fault-free)",
+                ["path", "wall time (s)"],
+                [
+                    ("bare sharded pool", f"{t_bare:.4f}"),
+                    ("supervised", f"{t_supervised:.4f}"),
+                ],
+                note=f"efficiency {efficiency:.3f} (1.0 = free); budget: "
+                "supervision ≤5% overhead on the fault-free path",
+            ),
+        )
+        assert efficiency >= 0.95, (
+            f"supervision overhead {100 * (1 / efficiency - 1):.1f}% "
+            "exceeds the 5% fault-free budget"
+        )
+
 
 #: Welford z-gate: fail when the fresh number sits this many σ below the
 #: recorded history's mean (regression direction only).
@@ -403,6 +461,21 @@ class TestRegressionGuard:
             bench_results,
             load_previous_bench(),
             "parallel_encode_speedup",
+            float(current),
+        )
+
+    def test_supervised_efficiency_not_regressed(self, bench_results):
+        """Welford-gate the supervision efficiency ratio (higher=better)."""
+        current = bench_results.get("supervised_encode_efficiency")
+        if current is None:
+            pytest.skip(
+                "supervision overhead was not measured this session "
+                "(needs ≥4 cores)"
+            )
+        self._welford_gate(
+            bench_results,
+            load_previous_bench(),
+            "supervised_encode_efficiency",
             float(current),
         )
 

@@ -352,7 +352,37 @@ class DivergenceReport:
 # ---------------------------------------------------------------------------
 
 
-def run_outcomes(source: Any, network_seed: int = 0) -> dict[int, list[MFOutcome]]:
+def workload_meta(source: Any) -> dict[str, Any] | None:
+    """Best-effort workload metadata from a run-shaped source, or None.
+
+    Used by :func:`diff_runs` to let one side's committed manifest stand
+    in for the other's: a recording that died mid-batch leaves rank frames
+    but no manifest, so its salvaged archive cannot name its own workload.
+    """
+    archive = getattr(source, "archive", None)
+    if archive is not None and not isinstance(source, Mapping):
+        source = archive
+    meta = getattr(source, "meta", None)
+    if isinstance(meta, Mapping) and "workload" in meta:
+        return dict(meta)
+    if isinstance(source, str):
+        from repro.replay.durable_store import _read_manifest
+
+        try:
+            manifest = _read_manifest(source, open)
+        except Exception:
+            return None
+        if manifest is not None and "workload" in manifest[1]:
+            nprocs, meta, _ = manifest
+            return dict(meta, nprocs=meta.get("nprocs", nprocs))
+    return None
+
+
+def run_outcomes(
+    source: Any,
+    network_seed: int = 0,
+    workload_fallback: Mapping[str, Any] | None = None,
+) -> dict[int, list[MFOutcome]]:
     """Per-rank outcome streams from any run-shaped source.
 
     Accepts a :class:`~repro.replay.session.RunResult` (or anything with
@@ -362,6 +392,12 @@ def run_outcomes(source: Any, network_seed: int = 0) -> dict[int, list[MFOutcome
     rehydrated by a deterministic replay of the workload named in their
     manifest — Theorem 2 makes the regenerated ``(sender, clock)`` streams
     byte-equal to the recorded ones, for any ``network_seed``.
+
+    A directory whose recording died mid-flight (truncated frames, no
+    committed manifest) falls back to salvage: the longest valid chunk
+    prefix per rank is recovered and replayed in ``mode="salvage"``, so
+    ``repro diff`` localizes the truncation point instead of refusing the
+    archive outright.
     """
     outcomes = getattr(source, "outcomes", None)
     if outcomes is not None and not isinstance(source, Mapping):
@@ -371,26 +407,42 @@ def run_outcomes(source: Any, network_seed: int = 0) -> dict[int, list[MFOutcome
     ):
         return {int(r): list(stream) for r, stream in source.items()}
     # archive path / RecordArchive: replay to regenerate the streams
+    from repro.errors import RecordFormatError
     from repro.replay.chunk_store import RecordArchive
+    from repro.replay.durable_store import load_archive
     from repro.replay.session import ReplaySession
     from repro.workloads import make_workload
 
+    replay_mode = "strict"
     if isinstance(source, str):
-        source = RecordArchive.load(source)
+        try:
+            source = RecordArchive.load(source)
+        except RecordFormatError:
+            # covers ArchiveCorruptionError (bad frames) and the
+            # manifest-less directory a mid-run crash leaves behind
+            source, _recovery = load_archive(source, mode="salvage")
+            replay_mode = "salvage"
     if not isinstance(source, RecordArchive):
         raise TypeError(
             f"cannot extract outcome streams from {type(source).__name__}"
         )
     meta = source.meta
     if "workload" not in meta:
-        raise ValueError(
-            "archive has no workload metadata; diff it against a RunResult "
-            "or re-record with the CLI"
-        )
+        # a mid-crash archive commits no manifest; the caller may supply
+        # the counterpart run's metadata (same workload by construction).
+        if workload_fallback is not None and "workload" in workload_fallback:
+            meta = dict(workload_fallback, nprocs=source.nprocs)
+        else:
+            raise ValueError(
+                "archive has no workload metadata; diff it against a "
+                "RunResult or re-record with the CLI"
+            )
     program, _ = make_workload(
         str(meta["workload"]), int(meta["nprocs"]), **dict(meta.get("params", {}))
     )
-    replayed = ReplaySession(program, source, network_seed=network_seed).run()
+    replayed = ReplaySession(
+        program, source, network_seed=network_seed, mode=replay_mode
+    ).run()
     return {r: list(s) for r, s in replayed.outcomes.items()}
 
 
@@ -454,8 +506,9 @@ def diff_runs(
     its order. The diff is symmetric in *whether* runs diverge, not in the
     bookkeeping conventions.
     """
-    outs_a = run_outcomes(a)
-    outs_b = run_outcomes(b)
+    fallback = workload_meta(a) or workload_meta(b)
+    outs_a = run_outcomes(a, workload_fallback=fallback)
+    outs_b = run_outcomes(b, workload_fallback=fallback)
     ranks = sorted(set(outs_a) | set(outs_b))
     per_rank: list[RankDivergence] = []
     flat_a: dict[int, list[Delivery]] = {}

@@ -70,6 +70,8 @@ def cmd_record(args: argparse.Namespace) -> int:
         network_seed=args.network_seed,
         chunk_events=args.chunk_events,
         replay_assist=not args.no_assist,
+        parallel_workers=args.parallel_workers,
+        parallel_backend=args.parallel_backend,
         store_dir=args.out,
         meta={
             "workload": args.workload,
@@ -92,6 +94,9 @@ def cmd_record(args: argparse.Namespace) -> int:
     print(f"archive: {args.out} ({human_bytes(size)}, "
           f"{size / max(1, events):.3f} bytes/event)")
     print(f"virtual time: {result.stats.virtual_time:.6f} s")
+    if result.encoder_health is not None and result.encoder_health.degraded:
+        print()
+        print(result.encoder_health.render())
     if result.ledger_entry is not None:
         print(f"ledger: {args.ledger} run {result.ledger_entry.run_id}")
     return 0
@@ -388,6 +393,12 @@ def cmd_stats(args: argparse.Namespace) -> int:
                 rows_,
             )
         )
+    health_meta = archive.meta.get("encoder_health")
+    if isinstance(health_meta, dict):
+        from repro.replay.supervisor import EncoderHealthReport
+
+        print()
+        print(EncoderHealthReport.from_json(health_meta).render())
     if args.metrics:
         print()
         print(_telemetry_health(args.metrics))
@@ -794,6 +805,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument(
         "--no-assist", action="store_true",
         help="store the paper-exact format (no replay-assist column)",
+    )
+    p_record.add_argument(
+        "--parallel-workers", type=int, default=0, metavar="N",
+        help="encode flushed chunks on N supervised pool workers "
+             "(0 = serial in-process encode)",
+    )
+    p_record.add_argument(
+        "--parallel-backend", choices=("thread", "process"), default="thread",
+        help="worker pool for --parallel-workers; on repeated failure the "
+             "supervisor degrades process -> thread -> serial automatically",
     )
     p_record.add_argument(
         "--trace-out", metavar="FILE",

@@ -41,6 +41,7 @@ from __future__ import annotations
 import errno
 import json
 import os
+import random
 import struct
 import time
 import zlib
@@ -93,14 +94,32 @@ RETRYABLE_ERRNOS = frozenset(
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded exponential backoff for transient storage errors."""
+    """Bounded exponential backoff for transient storage errors.
+
+    ``jitter`` spreads retries by scaling each delay by a factor drawn
+    uniformly from ``[1 - jitter, 1 + jitter]``. The draw is a pure
+    function of ``(seed, attempt)``, so a seeded policy produces the exact
+    same backoff schedule every run — fault-injection tests stay
+    reproducible while production still decorrelates retry storms.
+    """
 
     attempts: int = 4
     base_delay: float = 0.01
     max_delay: float = 0.25
+    jitter: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be within [0, 1]")
 
     def delay(self, attempt: int) -> float:
-        return min(self.base_delay * (2 ** attempt), self.max_delay)
+        base = min(self.base_delay * (2 ** attempt), self.max_delay)
+        if self.jitter == 0.0:
+            return base
+        # one int mixes seed and attempt: Random(tuple) is a TypeError.
+        rng = random.Random(self.seed * 1000003 + attempt)
+        return base * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
 
 
 def _retry_io(fn: Callable[[], object], policy: RetryPolicy):

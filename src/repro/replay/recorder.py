@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.core.columnar import ColumnarTable, ColumnarTableBuilder, encode_table
 from repro.core.compression import ZLIB_LEVEL
@@ -29,9 +29,10 @@ from repro.core.events import MFOutcome, outcomes_to_rows
 from repro.core.formats import serialize_cdc_chunks, serialize_raw_rows
 from repro.core.record_table import RecordTable, RecordTableBuilder
 from repro.replay.chunk_store import RecordArchive
-from repro.replay.durable_store import DurableArchiveWriter
+from repro.replay.durable_store import DurableArchiveWriter, RetryPolicy
 from repro.replay.parallel_encoder import ParallelChunkEncoder, advance_ceilings
 from repro.replay.shard_encoder import ShardedChunkEncoder
+from repro.replay.supervisor import EncoderHealthReport, SupervisedEncoder
 from repro.replay.cost_model import (
     PerRankRecordingState,
     RecordingCostModel,
@@ -81,6 +82,11 @@ class RecordingController(MFController):
         parallel_backend: str = "thread",
         store: DurableArchiveWriter | None = None,
         columnar: bool = True,
+        supervised: bool = True,
+        encoder_retry: RetryPolicy | None = None,
+        batch_deadline: float | None = None,
+        encoder_chaos=None,
+        encoder_opts: Mapping[str, Any] | None = None,
     ) -> None:
         super().__init__()
         self.chunk_events = chunk_events
@@ -118,11 +124,28 @@ class RecordingController(MFController):
                 f"got {parallel_backend!r}"
             )
         self._encoder = None
+        #: crash-only supervision (repro.replay.supervisor) is the default
+        #: for every parallel backend: worker loss, hung batches, and
+        #: segment failures are retried / quarantined / downgraded instead
+        #: of aborting the recording. ``supervised=False`` keeps the bare
+        #: PR-6 pools for benchmark baselines and pathology repros.
         if parallel_workers > 0:
-            if parallel_backend == "process":
+            if supervised:
+                self._encoder = SupervisedEncoder(
+                    workers=parallel_workers,
+                    backend=parallel_backend,
+                    retry=encoder_retry,
+                    batch_deadline=batch_deadline,
+                    chaos=encoder_chaos,
+                    **dict(encoder_opts or {}),
+                )
+            elif parallel_backend == "process":
                 self._encoder = ShardedChunkEncoder(workers=parallel_workers)
             else:
                 self._encoder = ParallelChunkEncoder(workers=parallel_workers)
+        #: filled at finalize when the supervised encoder ran: what
+        #: supervision had to do (None on serial/unsupervised paths).
+        self.encoder_health: EncoderHealthReport | None = None
         self._inflight: list[int] = []  # rank of each submitted flush
 
     # -- MFController hooks ---------------------------------------------------
@@ -172,6 +195,14 @@ class RecordingController(MFController):
                     self.store.append(rank, chunk)
                 self._note_chunk(rank, chunk)
             self._inflight.clear()
+            if isinstance(self._encoder, SupervisedEncoder):
+                self.encoder_health = self._encoder.health()
+                if self.encoder_health.degraded:
+                    # ride the manifest so `repro stats` (and the ledger)
+                    # can see the degradation from the archive alone.
+                    self.archive.meta["encoder_health"] = (
+                        self.encoder_health.to_json()
+                    )
             self._encoder.close()
         registry = get_registry()
         if registry.enabled:
@@ -242,6 +273,25 @@ class RecordingController(MFController):
             stored_bytes=stored,
         )
 
+    def encode_progress(self) -> int:
+        """Encoder batches finished so far — feeds the progress watchdog.
+
+        A recording wedged in ``drain()`` (hung worker, broken pool that
+        somehow evades supervision) stops advancing this counter, which
+        lets the watchdog convert the hang into a stall report instead of
+        an indefinite wait.
+        """
+        if isinstance(self._encoder, SupervisedEncoder):
+            return self._encoder.completed_batches
+        return 0
+
+    def abort(self) -> None:
+        """Crash-path cleanup: kill encoder workers, release shm segments."""
+        if isinstance(self._encoder, SupervisedEncoder):
+            self._encoder.abort()
+        elif self._encoder is not None:
+            self._encoder.close()
+
     # -- results ---------------------------------------------------------------
 
     def outcomes_of(self, rank: int) -> list[MFOutcome]:
@@ -282,6 +332,11 @@ class GzipRecordingController(RecordingController):
         parallel_backend: str = "thread",
         store: DurableArchiveWriter | None = None,
         columnar: bool = True,
+        supervised: bool = True,
+        encoder_retry: RetryPolicy | None = None,
+        batch_deadline: float | None = None,
+        encoder_chaos=None,
+        encoder_opts: Mapping[str, Any] | None = None,
     ) -> None:
         super().__init__(
             nprocs,
@@ -293,6 +348,11 @@ class GzipRecordingController(RecordingController):
             parallel_backend=parallel_backend,
             store=store,
             columnar=columnar,
+            supervised=supervised,
+            encoder_retry=encoder_retry,
+            batch_deadline=batch_deadline,
+            encoder_chaos=encoder_chaos,
+            encoder_opts=encoder_opts,
         )
 
     def storage_bytes(self, rank: int) -> int:

@@ -33,7 +33,6 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
-from multiprocessing import shared_memory
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -47,6 +46,7 @@ from repro.core.pipeline import CDCChunk
 from repro.core.record_table import RecordTable
 from repro.obs import get_registry
 from repro.replay.parallel_encoder import advance_ceilings
+from repro.replay.shm import SegmentLease, attach_segment, global_segment_registry
 
 __all__ = [
     "ShardedChunkEncoder",
@@ -95,7 +95,7 @@ def _encode_shard(
     shm_name: str, total: int, specs: Sequence[_TableSpec], replay_assist: bool
 ) -> list[CDCChunk]:
     """Worker entry: attach the shared columns, encode one shard."""
-    shm = shared_memory.SharedMemory(name=shm_name)
+    shm = attach_segment(shm_name)
     try:
         return _encode_specs(shm.buf, total, specs, replay_assist)
     finally:
@@ -103,24 +103,29 @@ def _encode_shard(
 
 
 def _column_segment(tables: Sequence[ColumnarTable]) -> tuple:
-    """Copy all tables' columns into one fresh shared segment.
+    """Copy all tables' columns into one fresh leased shared segment.
 
-    Returns ``(shm, total, offsets)`` — the caller owns the segment and
-    must close+unlink it once the workers are done.
+    Returns ``(lease, total, offsets)`` — the caller must ``release()``
+    the lease once the workers are done; an unreleased lease is still
+    swept by the registry at exit and counted by the leak audit.
     """
     total = sum(t.num_events for t in tables)
-    shm = shared_memory.SharedMemory(create=True, size=max(16, 2 * total * 8))
-    cols = np.ndarray((2, total), dtype=np.int64, buffer=shm.buf)
-    offsets = []
-    off = 0
-    for t in tables:
-        n = t.num_events
-        cols[0, off : off + n] = t.ranks
-        cols[1, off : off + n] = t.clocks
-        offsets.append(off)
-        off += n
-    del cols
-    return shm, total, offsets
+    lease = global_segment_registry().create(2 * total * 8)
+    try:
+        cols = np.ndarray((2, total), dtype=np.int64, buffer=lease.buf)
+        offsets = []
+        off = 0
+        for t in tables:
+            n = t.num_events
+            cols[0, off : off + n] = t.ranks
+            cols[1, off : off + n] = t.clocks
+            offsets.append(off)
+            off += n
+        del cols
+    except BaseException:
+        lease.release()
+        raise
+    return lease, total, offsets
 
 
 def _balanced_shards(
@@ -158,7 +163,7 @@ class ShardedChunkEncoder:
             raise ValueError("workers must be positive")
         self.workers = workers if workers is not None else default_shard_workers()
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
-        self._pending: list[tuple[Future, shared_memory.SharedMemory]] = []
+        self._pending: list[tuple[Future, SegmentLease]] = []
 
     def submit(
         self,
@@ -169,22 +174,29 @@ class ShardedChunkEncoder:
         """Queue one table for encoding; ceilings are copied immediately."""
         ctable = as_columnar_table(table)
         snapshot = dict(prior_ceilings) if prior_ceilings else None
-        shm, total, _ = _column_segment([ctable])
-        spec = (
-            ctable.callsite,
-            0,
-            total,
-            ctable.with_next_indices,
-            ctable.unmatched_runs,
-            snapshot,
-        )
-        registry = get_registry()
-        if registry.enabled:
-            registry.counter("encoder.tasks_submitted").add()
-        future = self._pool.submit(
-            _encode_shard, shm.name, total, [spec], replay_assist
-        )
-        self._pending.append((future, shm))
+        lease, total, _ = _column_segment([ctable])
+        try:
+            spec = (
+                ctable.callsite,
+                0,
+                total,
+                ctable.with_next_indices,
+                ctable.unmatched_runs,
+                snapshot,
+            )
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("encoder.tasks_submitted").add()
+            future = self._pool.submit(
+                _encode_shard, lease.name, total, [spec], replay_assist
+            )
+        except BaseException:
+            # anything between create and a successful pool handoff must
+            # not leak the kernel object (the PR-6 leak: a raise here left
+            # the segment live in /dev/shm for the life of the machine).
+            lease.release()
+            raise
+        self._pending.append((future, lease))
         return future
 
     def drain(self) -> list[CDCChunk]:
@@ -195,9 +207,8 @@ class ShardedChunkEncoder:
             for future, _ in pending:
                 chunks.extend(future.result())
         finally:
-            for _, shm in pending:
-                shm.close()
-                shm.unlink()
+            for _, lease in pending:
+                lease.release()
         return chunks
 
     @property
@@ -205,9 +216,8 @@ class ShardedChunkEncoder:
         return len(self._pending)
 
     def close(self) -> None:
-        for _, shm in self._pending:  # drain not reached (error paths)
-            shm.close()
-            shm.unlink()
+        for _, lease in self._pending:  # drain not reached (error paths)
+            lease.release()
         self._pending = []
         self._pool.shutdown(wait=True)
 
@@ -236,7 +246,7 @@ def encode_chunk_sequence_sharded(
         workers = default_shard_workers()
     ceilings_by_callsite: dict[str, dict[int, int]] = {}
     specs: list[_TableSpec] = []
-    shm, total, offsets = _column_segment(ctables)
+    lease, total, offsets = _column_segment(ctables)
     try:
         for t, off in zip(ctables, offsets):
             ceilings = ceilings_by_callsite.setdefault(t.callsite, {})
@@ -253,14 +263,13 @@ def encode_chunk_sequence_sharded(
             advance_ceilings(ceilings, t)
         if workers <= 1 or len(ctables) < 2:
             # serial fast path: same segment, same specs, no pool
-            return _encode_specs(shm.buf, total, specs, replay_assist)
+            return _encode_specs(lease.buf, total, specs, replay_assist)
         shards = _balanced_shards(specs, workers)
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             futures = [
-                pool.submit(_encode_shard, shm.name, total, shard, replay_assist)
+                pool.submit(_encode_shard, lease.name, total, shard, replay_assist)
                 for shard in shards
             ]
             return [chunk for future in futures for chunk in future.result()]
     finally:
-        shm.close()
-        shm.unlink()
+        lease.release()

@@ -1,0 +1,205 @@
+"""Shared-memory segment lifecycle: leases, registry, crash cleanup, audit.
+
+The sharded encoder (:mod:`repro.replay.shard_encoder`,
+:mod:`repro.replay.supervisor`) moves every batch's identifier columns
+through a ``multiprocessing.shared_memory`` segment. Segments are kernel
+objects, not Python objects: a producer that raises between ``create`` and
+drain — or a worker that dies holding an attachment — leaks ``/dev/shm``
+space that outlives the process. This module makes segment ownership
+explicit and auditable:
+
+* :class:`SegmentLease` — one created segment plus its release discipline:
+  ``release()`` is idempotent, tolerates a segment someone else already
+  unlinked, and always drops the mapping before the name;
+* :class:`SegmentRegistry` — tracks every live lease, releases them all on
+  interpreter exit (``atexit``) so even a crashed run unlinks its
+  segments, and answers the leak audit the test suite asserts on
+  (:meth:`SegmentRegistry.active` / :meth:`SegmentRegistry.leaked`);
+* :func:`attach_segment` — the worker-side attach that does **not**
+  register with the ``resource_tracker``. Attach-side tracking is what
+  produces the spurious ``resource_tracker`` "leaked shared_memory"
+  warnings at exit: each worker attach registers the name a second time,
+  the producer's single unlink unregisters it once, and the tracker then
+  complains about the stale duplicates. The producer keeps sole ownership;
+  workers only ever map and close.
+"""
+
+from __future__ import annotations
+
+import atexit
+import threading
+from multiprocessing import shared_memory
+from typing import Callable, Iterable
+
+from repro.obs import get_registry
+
+__all__ = [
+    "SegmentLease",
+    "SegmentRegistry",
+    "attach_segment",
+    "global_segment_registry",
+]
+
+#: factory signature: ``factory(size) -> SharedMemory`` (create=True).
+SegmentFactory = Callable[[int], shared_memory.SharedMemory]
+
+
+def _default_factory(size: int) -> shared_memory.SharedMemory:
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment by name without resource tracking.
+
+    Python 3.13 grew ``SharedMemory(..., track=False)`` for exactly this.
+    Older interpreters register every attach with the (fork-shared)
+    resource tracker, whose cache the producer's single create already
+    holds — so a later ``unregister`` from *any* process erases the
+    producer's registration and the eventual unlink makes the tracker
+    print ``KeyError`` tracebacks at exit. The fix is to never register
+    the attach in the first place: the tracker's ``register`` is no-op'd
+    for the duration of the constructor (pool workers run one task at a
+    time, so the patch window is single-threaded). Either way the
+    attaching process never becomes a co-owner: close it, never unlink.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)  # 3.13+
+    except TypeError:
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SegmentLease:
+    """Exclusive ownership of one created segment.
+
+    The owner (and only the owner) unlinks. ``release()`` may be called
+    any number of times, from ``drain``, error paths, ``close()``, and the
+    registry's ``atexit`` sweep — the first call wins, the rest are no-ops.
+    A segment whose name was already unlinked externally (a fault the
+    chaos suite injects) still releases cleanly: the mapping is dropped
+    and the missing name is ignored.
+    """
+
+    __slots__ = ("shm", "nbytes", "_registry", "released")
+
+    def __init__(
+        self, shm: shared_memory.SharedMemory, registry: "SegmentRegistry"
+    ) -> None:
+        self.shm = shm
+        self.nbytes = shm.size
+        self._registry = registry
+        self.released = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    @property
+    def buf(self):
+        return self.shm.buf
+
+    def release(self) -> None:
+        if self.released:
+            return
+        self.released = True
+        try:
+            self.shm.close()
+        except BufferError:  # pragma: no cover - live numpy view in caller
+            pass
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass  # unlinked under us (injected fault or external cleanup)
+        self._registry._forget(self)
+
+    def __enter__(self) -> "SegmentLease":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()
+
+
+class SegmentRegistry:
+    """Tracks live segment leases; guarantees unlink-by-exit; audits leaks."""
+
+    def __init__(self, factory: SegmentFactory = _default_factory) -> None:
+        self._factory = factory
+        self._lock = threading.Lock()
+        self._active: dict[int, SegmentLease] = {}
+        self._created = 0
+        self._released = 0
+        self._atexit_registered = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def create(self, size: int) -> SegmentLease:
+        """Create one segment and lease it; registers the exit sweep once.
+
+        Creation errors (ENOMEM on an exhausted ``/dev/shm``, EMFILE, …)
+        propagate to the caller — classification and fallback are the
+        supervisor's job, not the registry's.
+        """
+        shm = self._factory(max(16, size))
+        lease = SegmentLease(shm, self)
+        with self._lock:
+            if not self._atexit_registered:
+                atexit.register(self.release_all)
+                self._atexit_registered = True
+            self._active[id(lease)] = lease
+            self._created += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("shm.segments_created").add()
+            registry.gauge("shm.active_segments_max").set_max(len(self._active))
+        return lease
+
+    def _forget(self, lease: SegmentLease) -> None:
+        with self._lock:
+            if self._active.pop(id(lease), None) is not None:
+                self._released += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("shm.segments_released").add()
+
+    def release_all(self) -> int:
+        """Release every live lease (crash / exit sweep); returns the count."""
+        with self._lock:
+            leases = list(self._active.values())
+        for lease in leases:
+            lease.release()
+        return len(leases)
+
+    # -- audit --------------------------------------------------------------
+
+    def active(self) -> Iterable[str]:
+        """Names of segments currently leased (should be () between runs)."""
+        with self._lock:
+            return tuple(lease.name for lease in self._active.values())
+
+    def leaked(self) -> int:
+        """The leak audit: live segments right now. Tests assert this is 0."""
+        with self._lock:
+            return len(self._active)
+
+    @property
+    def created(self) -> int:
+        return self._created
+
+    @property
+    def released(self) -> int:
+        return self._released
+
+
+_GLOBAL = SegmentRegistry()
+
+
+def global_segment_registry() -> SegmentRegistry:
+    """The process-wide registry the encoders use by default."""
+    return _GLOBAL

@@ -1,0 +1,741 @@
+"""Fault-tolerant parallel encode: supervision, quarantine, degradation.
+
+The sharded encoder (:mod:`repro.replay.shard_encoder`) made the record
+hot path paper-scale, but a bare process pool is brittle in exactly the
+ways the durable store is not: a worker SIGKILL'd mid-batch surfaces as an
+opaque ``BrokenProcessPool`` that loses every in-flight chunk, a hung
+worker blocks ``drain()`` forever, and a failed ``SharedMemory`` create
+aborts the whole recording. :class:`SupervisedEncoder` wraps the same
+submit/drain contract in a crash-only supervision loop:
+
+* **failure detection + bounded retry** — ``BrokenProcessPool`` and
+  per-batch deadline timeouts tear the pool down (SIGKILL'ing hung
+  workers), rebuild it under the durable store's bounded-backoff
+  :class:`~repro.replay.durable_store.RetryPolicy`, and re-encode the
+  affected batches from their still-live shared segments;
+* **poison-chunk quarantine** — a batch that takes a pool down
+  ``quarantine_after`` times is re-encoded serially in the producer
+  instead of retried forever, and flagged in telemetry and the health
+  report;
+* **graceful degradation ladder** — ``process`` → ``thread`` → ``serial``:
+  after ``max_pool_failures`` pool losses at one rung the encoder
+  downgrades to the next and keeps recording. One bad node loses
+  parallelism, never the trace;
+* **segment lifecycle** — every column segment is a
+  :class:`~repro.replay.shm.SegmentLease` from the
+  :class:`~repro.replay.shm.SegmentRegistry`: released at drain, on every
+  error path, at ``close()``/``abort()``, and by the registry's ``atexit``
+  sweep. The health report carries the leak audit.
+
+Correctness invariant: whatever the failure path — retry, quarantine,
+inline fallback, backend downgrade — ``drain()`` returns chunks in
+submission order, byte-identical to the serial encode. Supervision decides
+*where* a chunk is encoded, never *what* it encodes: the columns and the
+ceiling snapshot are fixed at submit time.
+
+The ``chaos`` hook exists for fault injection
+(:class:`repro.testing.faults.EncodeChaos`): a picklable object whose
+``in_worker(batch, attempt)`` runs inside pool workers and whose
+producer-side hooks can fail segment creation or unlink a segment under
+the consumer. Production code never sets it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    TimeoutError as FutureTimeout,
+)
+from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures.thread import BrokenThreadPool
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.columnar import (
+    ColumnarTable,
+    as_columnar_table,
+    encode_columnar_chunk,
+)
+from repro.core.pipeline import CDCChunk
+from repro.core.record_table import RecordTable
+from repro.obs import event, get_registry
+from repro.replay.durable_store import RetryPolicy
+from repro.replay.shard_encoder import _encode_specs, default_shard_workers
+from repro.replay.shm import (
+    SegmentLease,
+    SegmentRegistry,
+    attach_segment,
+    global_segment_registry,
+)
+
+__all__ = [
+    "BACKEND_LADDER",
+    "DEFAULT_BATCH_DEADLINE",
+    "DowngradeEvent",
+    "EncoderHealthReport",
+    "SupervisedEncoder",
+]
+
+#: the degradation ladder, most parallel first; downgrades walk rightward.
+BACKEND_LADDER = ("process", "thread", "serial")
+
+#: wall seconds one batch may sit unfinished in ``drain`` before the pool
+#: is declared hung and torn down. 0 disables the deadline.
+DEFAULT_BATCH_DEADLINE = 300.0
+
+#: retry policy for pool rebuilds when the caller passes none: a few
+#: attempts, fast bounded backoff, deterministic jitter.
+DEFAULT_ENCODER_RETRY = RetryPolicy(
+    attempts=3, base_delay=0.05, max_delay=1.0, jitter=0.25, seed=0
+)
+
+#: exceptions meaning "the pool is gone", not "this batch's data is bad".
+_POOL_BROKEN = (BrokenProcessPool, BrokenThreadPool, RuntimeError)
+
+
+@dataclass(frozen=True)
+class DowngradeEvent:
+    """One rung down the ladder, with the failure that caused it."""
+
+    from_backend: str
+    to_backend: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.from_backend} -> {self.to_backend} ({self.reason})"
+
+
+@dataclass(frozen=True)
+class EncoderHealthReport:
+    """What supervision had to do to finish one recording's encode.
+
+    A fault-free run reports all-zero and ``degraded == False``; anything
+    else means the archive is complete but the pipeline took damage along
+    the way. Surfaced on ``RunResult.encoder_health``, in the archive
+    manifest meta (``encoder_health``, shown by ``repro stats``), and as
+    ledger health flags.
+    """
+
+    backend_requested: str
+    backend_final: str
+    batches: int
+    #: pool teardown+rebuild cycles (worker death or deadline).
+    pool_rebuilds: int
+    #: batch re-dispatches caused by pool loss or segment failure.
+    batch_retries: int
+    #: batches whose future outlived the per-batch deadline (hung worker).
+    deadline_timeouts: int
+    #: failed SharedMemory creates / segments lost under the consumer.
+    segment_failures: int
+    #: batches encoded serially in the producer at submit time (no segment).
+    inline_fallbacks: int
+    #: batch indexes re-encoded serially after repeatedly killing workers.
+    quarantined_batches: tuple[int, ...] = ()
+    downgrades: tuple[DowngradeEvent, ...] = ()
+    #: segments still leased when the report was built (0 after close).
+    leaked_segments: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.backend_final != self.backend_requested
+            or self.pool_rebuilds
+            or self.batch_retries
+            or self.deadline_timeouts
+            or self.segment_failures
+            or self.inline_fallbacks
+            or self.quarantined_batches
+            or self.leaked_segments
+        )
+
+    def summary(self) -> str:
+        """One-line compressed form (the ledger health flag value)."""
+        parts = []
+        if self.backend_final != self.backend_requested:
+            parts.append(f"{self.backend_requested}->{self.backend_final}")
+        if self.pool_rebuilds:
+            parts.append(f"rebuilds={self.pool_rebuilds}")
+        if self.batch_retries:
+            parts.append(f"retries={self.batch_retries}")
+        if self.deadline_timeouts:
+            parts.append(f"timeouts={self.deadline_timeouts}")
+        if self.segment_failures:
+            parts.append(f"segment_failures={self.segment_failures}")
+        if self.inline_fallbacks:
+            parts.append(f"inline_fallbacks={self.inline_fallbacks}")
+        if self.quarantined_batches:
+            parts.append(f"quarantined={len(self.quarantined_batches)}")
+        if self.leaked_segments:
+            parts.append(f"leaked_segments={self.leaked_segments}")
+        return " ".join(parts) if parts else "healthy"
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "backend_requested": self.backend_requested,
+            "backend_final": self.backend_final,
+            "batches": self.batches,
+            "pool_rebuilds": self.pool_rebuilds,
+            "batch_retries": self.batch_retries,
+            "deadline_timeouts": self.deadline_timeouts,
+            "segment_failures": self.segment_failures,
+            "inline_fallbacks": self.inline_fallbacks,
+            "quarantined_batches": list(self.quarantined_batches),
+            "downgrades": [
+                [d.from_backend, d.to_backend, d.reason] for d in self.downgrades
+            ],
+            "leaked_segments": self.leaked_segments,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, Any]) -> "EncoderHealthReport":
+        return cls(
+            backend_requested=str(obj["backend_requested"]),
+            backend_final=str(obj["backend_final"]),
+            batches=int(obj.get("batches", 0)),
+            pool_rebuilds=int(obj.get("pool_rebuilds", 0)),
+            batch_retries=int(obj.get("batch_retries", 0)),
+            deadline_timeouts=int(obj.get("deadline_timeouts", 0)),
+            segment_failures=int(obj.get("segment_failures", 0)),
+            inline_fallbacks=int(obj.get("inline_fallbacks", 0)),
+            quarantined_batches=tuple(
+                int(b) for b in obj.get("quarantined_batches", ())
+            ),
+            downgrades=tuple(
+                DowngradeEvent(str(f), str(t), str(r))
+                for f, t, r in obj.get("downgrades", ())
+            ),
+            leaked_segments=int(obj.get("leaked_segments", 0)),
+        )
+
+    def render(self) -> str:
+        title = (
+            f"encoder health [{self.backend_requested}]: "
+            + ("degraded" if self.degraded else "healthy")
+        )
+        lines = [title, "-" * len(title)]
+        rows: list[tuple[str, str]] = [
+            ("backend", f"{self.backend_requested} -> {self.backend_final}"),
+            ("batches", str(self.batches)),
+            ("pool rebuilds", str(self.pool_rebuilds)),
+            ("batch retries", str(self.batch_retries)),
+            ("deadline timeouts", str(self.deadline_timeouts)),
+            ("segment failures", str(self.segment_failures)),
+            ("inline fallbacks", str(self.inline_fallbacks)),
+            ("quarantined", str(list(self.quarantined_batches) or "none")),
+            ("leaked segments", str(self.leaked_segments)),
+        ]
+        width = max(len(k) for k, _ in rows)
+        lines += [f"{k.ljust(width)}  {v}" for k, v in rows]
+        for d in self.downgrades:
+            lines.append(f"downgrade: {d.describe()}")
+        return "\n".join(lines)
+
+
+def _supervised_shard(
+    shm_name: str,
+    total: int,
+    specs,
+    replay_assist: bool,
+    chaos,
+    batch: int,
+    attempt: int,
+):
+    """Worker entry: optional chaos hook, untracked attach, encode, close."""
+    if chaos is not None:
+        chaos.in_worker(batch, attempt)
+    shm = attach_segment(shm_name)
+    try:
+        return _encode_specs(shm.buf, total, specs, replay_assist)
+    finally:
+        shm.close()
+
+
+class _Task:
+    """One submitted batch: its data, where it lives, and its fate."""
+
+    __slots__ = (
+        "index",
+        "table",
+        "assist",
+        "snapshot",
+        "lease",
+        "total",
+        "spec",
+        "future",
+        "chunk",
+        "attempts",
+        "quarantined",
+        "inline",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        table: ColumnarTable,
+        assist: bool,
+        snapshot: dict[int, int] | None,
+    ) -> None:
+        self.index = index
+        self.table: ColumnarTable | None = table
+        self.assist = assist
+        self.snapshot = snapshot
+        self.lease: SegmentLease | None = None
+        self.total = 0
+        self.spec = None
+        self.future = None
+        self.chunk: CDCChunk | None = None
+        self.attempts = 0
+        self.quarantined = False
+        self.inline = False
+
+
+class SupervisedEncoder:
+    """Crash-only drop-in for the sharded/thread chunk encoders.
+
+    Same submit/drain contract as
+    :class:`~repro.replay.shard_encoder.ShardedChunkEncoder`: one chunk
+    per submitted table, drained in submission order, byte-identical to
+    the serial encode — now guaranteed to *finish* under worker death,
+    worker hangs, segment exhaustion, and external segment unlinks, at
+    worst on a downgraded backend.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        backend: str = "process",
+        retry: RetryPolicy | None = None,
+        batch_deadline: float | None = None,
+        quarantine_after: int = 2,
+        max_pool_failures: int = 3,
+        segments: SegmentRegistry | None = None,
+        chaos=None,
+        sleep=time.sleep,
+    ) -> None:
+        if backend not in BACKEND_LADDER:
+            raise ValueError(
+                f"backend must be one of {BACKEND_LADDER}, got {backend!r}"
+            )
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        if quarantine_after <= 0:
+            raise ValueError("quarantine_after must be positive")
+        if max_pool_failures <= 0:
+            raise ValueError("max_pool_failures must be positive")
+        self.workers = workers if workers is not None else default_shard_workers()
+        self.backend_requested = backend
+        self.backend = backend
+        self.retry = retry if retry is not None else DEFAULT_ENCODER_RETRY
+        self.batch_deadline = (
+            DEFAULT_BATCH_DEADLINE if batch_deadline is None else batch_deadline
+        )
+        self.quarantine_after = quarantine_after
+        self.max_pool_failures = max_pool_failures
+        self.chaos = chaos
+        self._sleep = sleep
+        self._segments = segments if segments is not None else global_segment_registry()
+        self._pool = None
+        self._tasks: list[_Task] = []
+        self._leases: list[SegmentLease] = []
+        self._completed = 0
+        self._closed = False
+        # health tallies
+        self._pool_rebuilds = 0
+        self._pool_failures_at_backend = 0
+        self._batch_retries = 0
+        self._deadline_timeouts = 0
+        self._segment_failures = 0
+        self._inline_fallbacks = 0
+        self._quarantined: list[int] = []
+        self._downgrades: list[DowngradeEvent] = []
+        # per-thread busy time for the worker-utilization gauges (matches
+        # ParallelChunkEncoder: only threads that encoded appear)
+        self._created_ns = time.perf_counter_ns()
+        self._busy_ns: dict[int, int] = {}
+        self._busy_lock = threading.Lock()
+
+    # -- public contract ----------------------------------------------------
+
+    def submit(
+        self,
+        table: RecordTable | ColumnarTable,
+        replay_assist: bool = False,
+        prior_ceilings: Mapping[int, int] | None = None,
+    ) -> _Task:
+        """Queue one table; ceilings are snapshotted immediately."""
+        if self._closed:
+            raise RuntimeError("encoder already closed")
+        ctable = as_columnar_table(table)
+        snapshot = dict(prior_ceilings) if prior_ceilings else None
+        task = _Task(len(self._tasks), ctable, replay_assist, snapshot)
+        self._tasks.append(task)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("encoder.tasks_submitted").add()
+        if self.backend == "process":
+            self._stage_segment(task)
+        if task.chunk is None:
+            self._dispatch(task)
+        return task
+
+    def drain(self) -> list[CDCChunk]:
+        """Finish every batch (retrying as needed); submission order.
+
+        Tasks stay registered until every one is done so pool-failure
+        recovery can see (and retry) all in-flight batches, not just the
+        one currently being awaited.
+        """
+        tasks = self._tasks
+        try:
+            for task in tasks:
+                self._await(task)
+        finally:
+            self._tasks = []
+            for task in tasks:
+                self._release(task, force=True)
+        return [task.chunk for task in tasks]
+
+    @property
+    def pending(self) -> int:
+        return len(self._tasks)
+
+    @property
+    def completed_batches(self) -> int:
+        """Finished batches since construction — the watchdog's progress feed."""
+        return self._completed
+
+    def health(self) -> EncoderHealthReport:
+        leaked = sum(1 for lease in self._leases if not lease.released)
+        return EncoderHealthReport(
+            backend_requested=self.backend_requested,
+            backend_final=self.backend,
+            batches=self._completed,
+            pool_rebuilds=self._pool_rebuilds,
+            batch_retries=self._batch_retries,
+            deadline_timeouts=self._deadline_timeouts,
+            segment_failures=self._segment_failures,
+            inline_fallbacks=self._inline_fallbacks,
+            quarantined_batches=tuple(self._quarantined),
+            downgrades=tuple(self._downgrades),
+            leaked_segments=leaked,
+        )
+
+    def close(self) -> None:
+        """Release segments, shut the pool down gracefully. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for task in self._tasks:
+            self._release(task, force=True)
+        self._tasks = []
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=True)
+            except Exception:  # pragma: no cover - broken pool shutdown
+                pass
+            self._pool = None
+        registry = get_registry()
+        if registry.enabled:
+            for worker, fraction in self.worker_utilization().items():
+                registry.gauge(f"encoder.worker{worker}.utilization").set(
+                    round(fraction, 4)
+                )
+
+    def worker_utilization(self) -> dict[int, float]:
+        """Busy fraction per encoding thread since the encoder was created.
+
+        Dense worker indexes in thread-id order; only threads that encoded
+        at least one batch appear (process-rung batches encode in worker
+        *processes* and are timed there, not here).
+        """
+        wall = time.perf_counter_ns() - self._created_ns
+        if wall <= 0:
+            return {}
+        with self._busy_lock:
+            busy = sorted(self._busy_ns.items())
+        return {i: ns / wall for i, (_tid, ns) in enumerate(busy)}
+
+    def abort(self) -> None:
+        """Crash-path cleanup: kill workers, release every segment, no wait."""
+        if self._closed:
+            return
+        self._closed = True
+        for task in self._tasks:
+            task.future = None
+            self._release(task, force=True)
+        self._tasks = []
+        self._teardown_pool(kill=True)
+
+    def __enter__(self) -> "SupervisedEncoder":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- segment staging ----------------------------------------------------
+
+    def _stage_segment(self, task: _Task) -> None:
+        """Copy the task's columns into a fresh leased segment.
+
+        On creation failure (ENOMEM and friends) the batch is encoded
+        inline right now — the table is still in hand — and repeated
+        failure downgrades the backend off processes entirely.
+        """
+        ctable = task.table
+        assert ctable is not None
+        n = ctable.num_events
+        try:
+            if self.chaos is not None:
+                self.chaos.on_segment_create()
+            lease = self._segments.create(2 * n * 8)
+        except OSError as exc:
+            self._segment_failures += 1
+            self._note("encoder.segment_failures")
+            event("encoder.segment_create_failed", batch=task.index, error=str(exc))
+            if self._segment_failures >= 2 and self.backend == "process":
+                self._downgrade(f"segment-create:{exc.errno or exc}")
+            self._inline_fallbacks += 1
+            self._note("encoder.inline_fallbacks")
+            task.inline = True
+            self._finish(task, self._encode_task(task))
+            return
+        self._leases.append(lease)
+        cols = np.ndarray((2, n), dtype=np.int64, buffer=lease.buf)
+        cols[0, :] = ctable.ranks
+        cols[1, :] = ctable.clocks
+        del cols
+        task.lease = lease
+        task.total = n
+        task.spec = (
+            ctable.callsite,
+            0,
+            n,
+            ctable.with_next_indices,
+            ctable.unmatched_runs,
+            task.snapshot,
+        )
+        # the segment is now the authoritative copy; drop the table so the
+        # producer holds each batch's columns exactly once.
+        task.table = None
+        if self.chaos is not None:
+            self.chaos.after_submit(task.index, lease)
+
+    # -- dispatch / recovery -------------------------------------------------
+
+    def _dispatch(self, task: _Task) -> None:
+        """(Re)issue one batch on the current backend, or quarantine it."""
+        while task.chunk is None:
+            if task.attempts >= self.quarantine_after:
+                self._quarantine(task)
+                return
+            if self.backend == "serial":
+                self._finish(task, self._encode_task(task))
+                return
+            pool = self._ensure_pool()
+            try:
+                if self.backend == "process" and task.lease is not None:
+                    task.future = pool.submit(
+                        _supervised_shard,
+                        task.lease.name,
+                        task.total,
+                        [task.spec],
+                        task.assist,
+                        self.chaos,
+                        task.index,
+                        task.attempts,
+                    )
+                else:
+                    # thread rung — or a process task whose segment never
+                    # existed; either way encode from what we hold.
+                    task.future = pool.submit(self._encode_task_in_pool, task)
+                return
+            except _POOL_BROKEN as exc:
+                self._on_pool_failure(f"submit:{type(exc).__name__}", hung=False)
+
+    def _await(self, task: _Task) -> None:
+        """Block until one batch is finished, recovering as needed."""
+        while task.chunk is None:
+            if task.future is None:
+                self._dispatch(task)
+                continue
+            timeout = self.batch_deadline if self.batch_deadline > 0 else None
+            try:
+                result = task.future.result(timeout=timeout)
+            except FutureTimeout:
+                self._deadline_timeouts += 1
+                self._note("encoder.deadline_timeouts")
+                event(
+                    "encoder.batch_deadline",
+                    batch=task.index,
+                    deadline=self.batch_deadline,
+                )
+                self._on_pool_failure("batch-deadline", hung=True)
+                continue
+            except _POOL_BROKEN as exc:
+                self._on_pool_failure(f"worker-lost:{type(exc).__name__}", hung=False)
+                continue
+            except OSError as exc:
+                # the segment vanished under the worker (external unlink,
+                # tmpfs reclaim): the producer's own mapping is still
+                # valid, so recover this batch inline.
+                self._segment_failures += 1
+                self._note("encoder.segment_failures")
+                self._batch_retries += 1
+                self._note("encoder.batch_retries")
+                event(
+                    "encoder.segment_lost", batch=task.index, error=str(exc)
+                )
+                task.future = None
+                task.attempts += 1
+                self._finish(task, self._encode_task(task))
+                continue
+            self._finish(task, result[0] if isinstance(result, list) else result)
+
+    def _on_pool_failure(self, reason: str, hung: bool) -> None:
+        """The pool is unusable: harvest survivors, retry the rest."""
+        self._pool_rebuilds += 1
+        self._pool_failures_at_backend += 1
+        self._note("encoder.pool_rebuilds")
+        event("encoder.pool_failure", reason=reason, backend=self.backend)
+        for task in self._iter_unfinished():
+            future = task.future
+            if future is None:
+                continue
+            if future.done() and future.exception() is None:
+                result = future.result()
+                self._finish(
+                    task, result[0] if isinstance(result, list) else result
+                )
+                continue
+            task.future = None
+            task.attempts += 1
+            self._batch_retries += 1
+            self._note("encoder.batch_retries")
+        self._teardown_pool(kill=hung)
+        if self._pool_failures_at_backend >= self.max_pool_failures:
+            self._downgrade(reason)
+        else:
+            delay = self.retry.delay(self._pool_failures_at_backend - 1)
+            if delay > 0:
+                registry = get_registry()
+                if registry.enabled:
+                    registry.counter("encoder.backoff_sleeps").add()
+                    registry.histogram("encoder.backoff_us").observe(
+                        int(delay * 1e6)
+                    )
+                self._sleep(delay)
+
+    def _downgrade(self, reason: str) -> None:
+        """Step one rung down the ladder; terminal rung is serial."""
+        rung = BACKEND_LADDER.index(self.backend)
+        if rung + 1 >= len(BACKEND_LADDER):
+            return
+        target = BACKEND_LADDER[rung + 1]
+        self._downgrades.append(DowngradeEvent(self.backend, target, reason))
+        self._note("encoder.downgrades")
+        event(
+            "encoder.downgrade",
+            from_backend=self.backend,
+            to_backend=target,
+            reason=reason,
+        )
+        self._teardown_pool(kill=False)
+        self.backend = target
+        self._pool_failures_at_backend = 0
+
+    def _quarantine(self, task: _Task) -> None:
+        """Poison batch: encode it in the producer, serially, and flag it."""
+        task.quarantined = True
+        self._quarantined.append(task.index)
+        self._note("encoder.quarantined_batches")
+        event("encoder.quarantine", batch=task.index, attempts=task.attempts)
+        self._finish(task, self._encode_task(task))
+
+    # -- encode paths --------------------------------------------------------
+
+    def _encode_task(self, task: _Task) -> CDCChunk:
+        """Encode one batch in the current process (producer or pool thread)."""
+        t0 = time.perf_counter_ns()
+        try:
+            if task.lease is not None:
+                return _encode_specs(
+                    task.lease.buf, task.total, [task.spec], task.assist
+                )[0]
+            assert task.table is not None
+            return encode_columnar_chunk(
+                task.table, replay_assist=task.assist, prior_ceilings=task.snapshot
+            )
+        finally:
+            busy = time.perf_counter_ns() - t0
+            tid = threading.get_ident()
+            with self._busy_lock:
+                self._busy_ns[tid] = self._busy_ns.get(tid, 0) + busy
+            registry = get_registry()
+            if registry.enabled:
+                registry.histogram("encoder.task_us").observe(busy // 1000)
+
+    def _encode_task_in_pool(self, task: _Task) -> CDCChunk:
+        """Thread-pool entry for one batch (also carries the chaos hook)."""
+        if self.chaos is not None:
+            self.chaos.in_worker(task.index, task.attempts, thread=True)
+        return self._encode_task(task)
+
+    # -- pool & bookkeeping ---------------------------------------------------
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            if self.backend == "process":
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            else:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="cdc-encode"
+                )
+        return self._pool
+
+    def _teardown_pool(self, kill: bool) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        procs = list(getattr(pool, "_processes", {}).values() or ())
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - racing a dying executor
+            pass
+        if kill:
+            for proc in procs:
+                if proc.is_alive():
+                    proc.kill()
+            for proc in procs:
+                proc.join(timeout=5.0)
+
+    def _iter_unfinished(self):
+        return (t for t in self._tasks if t.chunk is None)
+
+    def _finish(self, task: _Task, chunk: CDCChunk) -> None:
+        task.chunk = chunk
+        task.future = None
+        self._completed += 1
+        self._release(task)
+
+    def _release(self, task: _Task, force: bool = False) -> None:
+        """Give a finished (or abandoned, with ``force``) batch's segment back.
+
+        An unfinished batch keeps its lease — the segment is the
+        authoritative copy its retries encode from. ``force`` is the
+        abandon-everything path (close/abort/drain unwind): unlinking a
+        segment a straggler worker still maps is safe, the worker's
+        mapping stays valid until it closes.
+        """
+        if task.lease is not None and (force or task.chunk is not None):
+            task.lease.release()
+
+    def _note(self, counter: str) -> None:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(counter).add()

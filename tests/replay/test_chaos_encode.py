@@ -1,0 +1,242 @@
+"""Chaos acceptance: recordings must survive every injected encode fault.
+
+The contract under test (ISSUE 7 acceptance criteria): for each injected
+process-level fault — worker SIGKILL, worker hang past the batch deadline,
+ENOMEM on segment create, a segment unlinked under the consumer, a
+double-poison batch, and repeated pool loss forcing a backend downgrade —
+the recording completes via retry or a downgraded backend, the archive is
+**byte-identical** to the serial encode, no shared-memory segment survives
+the run (leak audit == 0), and the degradation is visible in
+``EncoderHealthReport`` plus the run ledger's health flags.
+
+Like the sharded >=2x speedup gate, the fault matrix *skips* (never
+silently passes) below 4 cores; ``REPRO_CHAOS_FORCE=1`` runs it anyway
+(the faults are scheduling-independent, only slower on few cores). Set
+``REPRO_CHAOS_ARTIFACTS=<dir>`` to dump each scenario's health report as
+JSON — CI uploads these.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.formats import serialize_cdc_chunks
+from repro.replay import (
+    RecordSession,
+    ReplaySession,
+    assert_replay_matches,
+    load_archive,
+)
+from repro.replay.durable_store import RetryPolicy
+from repro.replay.shm import global_segment_registry
+from repro.testing.faults import (
+    EncodeChaos,
+    EncodeChaosPlan,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+)
+from repro.workloads import mcb
+
+NPROCS = 6
+CFG = mcb.MCBConfig(nprocs=NPROCS, particles_per_rank=30, seed=13)
+META = {
+    "workload": "mcb",
+    "nprocs": NPROCS,
+    "network_seed": 2,
+    "params": {"particles_per_rank": 30, "seed": 13},
+}
+
+
+def _available_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+CORES = _available_cores()
+FORCED = bool(os.environ.get("REPRO_CHAOS_FORCE"))
+
+requires_cores = pytest.mark.skipif(
+    CORES < 4 and not FORCED,
+    reason=(
+        f"chaos-encode acceptance needs >= 4 cores (have {CORES}); "
+        "set REPRO_CHAOS_FORCE=1 to run anyway"
+    ),
+)
+
+
+def _write_artifact(name: str, health) -> None:
+    directory = os.environ.get("REPRO_CHAOS_ARTIFACTS")
+    if not directory:
+        return
+    os.makedirs(directory, exist_ok=True)
+    with open(os.path.join(directory, f"{name}.json"), "w") as fh:
+        json.dump(health.to_json(), fh, indent=2, sort_keys=True)
+
+
+def _record(**kwargs):
+    return RecordSession(
+        mcb.build_program(CFG),
+        nprocs=NPROCS,
+        network_seed=2,
+        chunk_events=48,
+        meta=META,
+        **kwargs,
+    ).run()
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return _record()
+
+
+def _assert_byte_identical(serial, chaotic):
+    for rank in range(NPROCS):
+        assert serialize_cdc_chunks(
+            serial.archive.chunks(rank)
+        ) == serialize_cdc_chunks(chaotic.archive.chunks(rank)), rank
+
+
+#: name -> (chaos plan, extra session kwargs, health predicate)
+SCENARIOS = {
+    "worker-sigkill": (
+        EncodeChaosPlan(kill_worker_on=((1, 0),)),
+        {},
+        lambda h: h.pool_rebuilds >= 1 and h.batch_retries >= 1,
+    ),
+    "worker-hang": (
+        EncodeChaosPlan(hang_worker_on=((0, 0),), hang_seconds=3600.0),
+        {"batch_deadline": 0.5},
+        lambda h: h.deadline_timeouts >= 1,
+    ),
+    "segment-enomem": (
+        EncodeChaosPlan(fail_segment_creates=1),
+        {},
+        lambda h: h.segment_failures >= 1 and h.inline_fallbacks >= 1,
+    ),
+    "segment-unlinked": (
+        EncodeChaosPlan(unlink_segment_on=(2,)),
+        {},
+        lambda h: h.segment_failures >= 1,
+    ),
+    "double-poison": (
+        EncodeChaosPlan(kill_worker_on=((1, 0), (1, 1))),
+        {},
+        lambda h: 1 in h.quarantined_batches,
+    ),
+    "pool-downgrade": (
+        EncodeChaosPlan(kill_worker_on=((0, 0),)),
+        {
+            "encoder_retry": RetryPolicy(attempts=2, jitter=0.25, seed=7),
+            "encoder_opts": {"max_pool_failures": 1, "quarantine_after": 5},
+        },
+        lambda h: h.backend_final != "process" and h.downgrades,
+    ),
+}
+
+
+@requires_cores
+class TestChaosMatrix:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_fault_recovers_byte_identical(self, serial_run, name, tmp_path):
+        plan, extra, predicate = SCENARIOS[name]
+        kwargs = dict(extra)
+        chaotic = _record(
+            parallel_workers=2,
+            parallel_backend="process",
+            encoder_chaos=EncodeChaos(plan),
+            store_dir=str(tmp_path / "arch"),
+            ledger=str(tmp_path / "ledger.jsonl"),
+            run_id=name,
+            **kwargs,
+        )
+        health = chaotic.encoder_health
+        _write_artifact(name, health)
+        _assert_byte_identical(serial_run, chaotic)
+        assert health is not None and health.degraded, name
+        assert predicate(health), (name, health.summary())
+        # no shared-memory segment survives the run
+        assert global_segment_registry().leaked() == 0
+        # degradation is visible on the run ledger...
+        entry = chaotic.ledger_entry
+        assert entry is not None and not entry.healthy
+        assert "encoder_degraded" in entry.health
+        # ...and rides the committed manifest for `repro stats`
+        loaded, recovery = load_archive(str(tmp_path / "arch"))
+        assert recovery.clean
+        assert loaded.meta.get("encoder_health", {}).get("batches")
+        # the degraded archive still replays exactly
+        replayed = ReplaySession(
+            mcb.build_program(CFG), chaotic.archive, network_seed=77
+        ).run()
+        assert_replay_matches(chaotic, replayed)
+
+    def test_downgrade_ladder_walks_to_serial_if_needed(self, serial_run):
+        # kill the first attempt of *every* early batch with a 1-failure
+        # budget per rung: process dies immediately; the thread rung never
+        # sees kill faults (they are process-only), so it finishes there.
+        chaotic = _record(
+            parallel_workers=2,
+            parallel_backend="process",
+            encoder_chaos=EncodeChaos(
+                EncodeChaosPlan(kill_worker_on=((0, 0), (0, 1)))
+            ),
+        )
+        _assert_byte_identical(serial_run, chaotic)
+        assert global_segment_registry().leaked() == 0
+
+
+class TestSalvageMidShardedBatch:
+    """A recording that dies mid-sharded-batch must stay diagnosable."""
+
+    @pytest.fixture(scope="class")
+    def crashed_dir(self, tmp_path_factory):
+        d = str(tmp_path_factory.mktemp("crashed") / "arch")
+        injector = FaultInjector(FaultPlan(crash_after_bytes=600))
+        with pytest.raises(InjectedCrash):
+            RecordSession(
+                mcb.build_program(CFG),
+                nprocs=NPROCS,
+                network_seed=2,
+                chunk_events=48,
+                parallel_workers=2,
+                parallel_backend="process",
+                store_dir=d,
+                store_opener=injector.open,
+                meta=META,
+            ).run()
+        # the dying recording aborted its encoder: no segments survive
+        assert global_segment_registry().leaked() == 0
+        return d
+
+    def test_salvage_recovers_prefix(self, crashed_dir):
+        archive, recovery = load_archive(crashed_dir, mode="salvage")
+        assert not recovery.clean
+        assert any(archive.chunks(r) for r in range(archive.nprocs))
+        result = ReplaySession(
+            mcb.build_program(CFG), archive, network_seed=5, mode="salvage"
+        ).run()
+        assert result.truncated or result.total_receive_events() > 0
+
+    def test_diff_localizes_truncation_not_crash(self, crashed_dir, serial_run):
+        from repro.analysis.divergence import diff_runs
+
+        report = diff_runs(serial_run, crashed_dir, label_a="full", label_b="crashed")
+        # the crashed run is a strict prefix: the diff must localize where
+        # each rank's record ran out instead of refusing the archive.
+        assert report.events_b < report.events_a
+        assert not report.identical
+        assert report.per_rank  # at least one rank pinpointed
+        rendered = report.render()
+        assert "crashed" in rendered
+
+    def test_strict_load_still_refuses(self, crashed_dir):
+        from repro.errors import RecordFormatError
+
+        with pytest.raises(RecordFormatError):
+            load_archive(crashed_dir, mode="strict")

@@ -8,7 +8,6 @@ identical serialized bytes, identical archive order, exact replay.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core import build_tables, encode_chunk_sequence
@@ -23,7 +22,15 @@ from repro.replay import (
     encode_chunk_sequence_sharded,
 )
 from repro.replay.shard_encoder import _balanced_shards, default_shard_workers
+from repro.replay.shm import global_segment_registry
 from repro.workloads import mcb
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    """Every test in this file must hand back all shared-memory segments."""
+    yield
+    assert global_segment_registry().leaked() == 0
 
 
 def stream(n, callsites=("a", "b", "c")):
@@ -173,3 +180,28 @@ class TestRecorderParity:
                 parallel_workers=2,
                 parallel_backend="fork-bomb",
             ).run()
+
+    def test_unsupervised_path_still_available(self, runs):
+        """``supervised=False`` keeps the bare PR-6 pool, byte-identical."""
+        cfg, serial, _ = runs
+        bare = RecordSession(
+            mcb.build_program(cfg),
+            nprocs=6,
+            network_seed=2,
+            chunk_events=48,
+            parallel_workers=3,
+            parallel_backend="process",
+            supervised=False,
+        ).run()
+        assert bare.encoder_health is None
+        for rank in range(serial.nprocs):
+            assert serialize_cdc_chunks(
+                serial.archive.chunks(rank)
+            ) == serialize_cdc_chunks(bare.archive.chunks(rank))
+
+    def test_supervised_run_reports_clean_health(self, runs):
+        _, _, sharded = runs
+        health = sharded.encoder_health
+        assert health is not None
+        assert not health.degraded
+        assert "encoder_health" not in sharded.archive.meta

@@ -1,0 +1,364 @@
+"""Supervised encode: recovery must be invisible, cleanup unconditional.
+
+Unit-level coverage of :mod:`repro.replay.supervisor` and
+:mod:`repro.replay.shm`: every recovery path (retry, quarantine, inline
+fallback, downgrade) must return chunks byte-identical to the serial
+encode, release every shared-memory segment, and account for itself in
+the health report. Runs on any core count — the full recording-level
+acceptance matrix lives in ``test_chaos_encode.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import ColumnarTable, encode_columnar_chunk
+from repro.core.formats import serialize_cdc_chunks
+from repro.errors import DecodingError
+from repro.replay.durable_store import RetryPolicy
+from repro.replay.shard_encoder import ShardedChunkEncoder
+from repro.replay.shm import SegmentRegistry, global_segment_registry
+from repro.replay.supervisor import (
+    BACKEND_LADDER,
+    DowngradeEvent,
+    EncoderHealthReport,
+    SupervisedEncoder,
+)
+from repro.testing.faults import EncodeChaos, EncodeChaosPlan
+
+
+def tables(n=5, events=160, seed=0):
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        ranks = rng.integers(0, 6, size=events).astype(np.int64)
+        clocks = np.arange(events, dtype=np.int64) + i * events
+        perm = rng.permutation(events)
+        out.append(ColumnarTable("recv", ranks[perm], clocks[perm], (), ()))
+    return out
+
+
+@pytest.fixture(scope="module")
+def batch():
+    ts = tables()
+    serial = [encode_columnar_chunk(t) for t in ts]
+    return ts, serialize_cdc_chunks(serial)
+
+
+def run_encoder(ts, **kwargs):
+    plan = kwargs.pop("plan", None)
+    chaos = EncodeChaos(plan) if plan is not None else None
+    enc = SupervisedEncoder(workers=2, chaos=chaos, **kwargs)
+    try:
+        for t in ts:
+            enc.submit(t)
+        chunks = enc.drain()
+    finally:
+        enc.close()
+    return chunks, enc.health()
+
+
+class TestCleanPaths:
+    @pytest.mark.parametrize("backend", BACKEND_LADDER)
+    def test_parity_and_clean_health(self, batch, backend):
+        ts, blob = batch
+        chunks, health = run_encoder(ts, backend=backend, batch_deadline=60.0)
+        assert serialize_cdc_chunks(chunks) == blob
+        assert not health.degraded
+        assert health.summary() == "healthy"
+        assert health.batches == len(ts)
+        assert global_segment_registry().leaked() == 0
+
+    def test_serial_backend_creates_no_segments(self, batch):
+        ts, blob = batch
+        registry = global_segment_registry()
+        before = registry.created
+        chunks, _ = run_encoder(ts, backend="serial")
+        assert serialize_cdc_chunks(chunks) == blob
+        assert registry.created == before
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SupervisedEncoder(backend="carrier-pigeon")
+        with pytest.raises(ValueError):
+            SupervisedEncoder(workers=0)
+        with pytest.raises(ValueError):
+            SupervisedEncoder(quarantine_after=0)
+        with pytest.raises(ValueError):
+            SupervisedEncoder(max_pool_failures=0)
+
+    def test_submit_after_close_rejected(self, batch):
+        ts, _ = batch
+        enc = SupervisedEncoder(workers=2, backend="serial")
+        enc.close()
+        with pytest.raises(RuntimeError):
+            enc.submit(ts[0])
+
+
+class TestRecovery:
+    def test_worker_kill_retried_transparently(self, batch):
+        ts, blob = batch
+        chunks, health = run_encoder(
+            ts,
+            backend="process",
+            batch_deadline=60.0,
+            plan=EncodeChaosPlan(kill_worker_on=((1, 0),)),
+        )
+        assert serialize_cdc_chunks(chunks) == blob
+        assert health.pool_rebuilds >= 1
+        assert health.batch_retries >= 1
+        assert not health.quarantined_batches
+        assert health.backend_final == "process"
+        assert global_segment_registry().leaked() == 0
+
+    def test_double_poison_batch_quarantined(self, batch):
+        ts, blob = batch
+        chunks, health = run_encoder(
+            ts,
+            backend="process",
+            batch_deadline=60.0,
+            plan=EncodeChaosPlan(kill_worker_on=((1, 0), (1, 1))),
+        )
+        assert serialize_cdc_chunks(chunks) == blob
+        assert 1 in health.quarantined_batches
+        assert global_segment_registry().leaked() == 0
+
+    def test_hung_worker_hits_deadline_and_recovers(self, batch):
+        ts, blob = batch
+        chunks, health = run_encoder(
+            ts,
+            backend="process",
+            batch_deadline=0.5,
+            plan=EncodeChaosPlan(hang_worker_on=((0, 0),), hang_seconds=3600.0),
+        )
+        assert serialize_cdc_chunks(chunks) == blob
+        assert health.deadline_timeouts >= 1
+        assert health.pool_rebuilds >= 1
+        assert global_segment_registry().leaked() == 0
+
+    def test_enomem_on_segment_create_falls_back_inline(self, batch):
+        ts, blob = batch
+        chunks, health = run_encoder(
+            ts,
+            backend="process",
+            batch_deadline=60.0,
+            plan=EncodeChaosPlan(fail_segment_creates=1),
+        )
+        assert serialize_cdc_chunks(chunks) == blob
+        assert health.segment_failures >= 1
+        assert health.inline_fallbacks >= 1
+        assert global_segment_registry().leaked() == 0
+
+    def test_segment_unlinked_under_consumer_recovers(self, batch):
+        ts, blob = batch
+        chunks, health = run_encoder(
+            ts,
+            backend="process",
+            batch_deadline=60.0,
+            plan=EncodeChaosPlan(unlink_segment_on=(2,)),
+        )
+        assert serialize_cdc_chunks(chunks) == blob
+        assert health.segment_failures >= 1
+        assert global_segment_registry().leaked() == 0
+
+    def test_repeated_pool_loss_downgrades_backend(self, batch):
+        ts, blob = batch
+        chunks, health = run_encoder(
+            ts,
+            backend="process",
+            batch_deadline=60.0,
+            max_pool_failures=1,
+            quarantine_after=5,
+            plan=EncodeChaosPlan(kill_worker_on=((0, 0),)),
+        )
+        assert serialize_cdc_chunks(chunks) == blob
+        assert health.backend_requested == "process"
+        assert health.backend_final in ("thread", "serial")
+        assert health.downgrades
+        assert health.downgrades[0].from_backend == "process"
+        assert global_segment_registry().leaked() == 0
+
+    def test_real_encode_error_propagates_not_retried(self):
+        # duplicate (rank, clock) reference keys are a deterministic input
+        # bug — the supervisor must surface it, not retry it forever.
+        bad = ColumnarTable(
+            "recv",
+            np.zeros(4, dtype=np.int64),
+            np.zeros(4, dtype=np.int64),
+            (),
+            (),
+        )
+        enc = SupervisedEncoder(workers=2, backend="process", batch_deadline=60.0)
+        try:
+            enc.submit(bad)
+            with pytest.raises(DecodingError):
+                enc.drain()
+        finally:
+            enc.close()
+        assert global_segment_registry().leaked() == 0
+
+    def test_abort_releases_all_segments(self, batch):
+        ts, _ = batch
+        registry = global_segment_registry()
+        enc = SupervisedEncoder(workers=2, backend="process", batch_deadline=60.0)
+        for t in ts:
+            enc.submit(t)
+        enc.abort()
+        assert registry.leaked() == 0
+        enc.abort()  # idempotent
+
+
+class TestHealthReport:
+    def test_json_round_trip(self):
+        report = EncoderHealthReport(
+            backend_requested="process",
+            backend_final="thread",
+            batches=12,
+            pool_rebuilds=3,
+            batch_retries=4,
+            deadline_timeouts=1,
+            segment_failures=2,
+            inline_fallbacks=1,
+            quarantined_batches=(5,),
+            downgrades=(DowngradeEvent("process", "thread", "worker-lost"),),
+            leaked_segments=0,
+        )
+        assert EncoderHealthReport.from_json(report.to_json()) == report
+        assert report.degraded
+        summary = report.summary()
+        assert "process->thread" in summary and "quarantined=1" in summary
+        rendered = report.render()
+        assert "degraded" in rendered and "worker-lost" in rendered
+
+    def test_clean_report_is_not_degraded(self):
+        report = EncoderHealthReport(
+            backend_requested="thread",
+            backend_final="thread",
+            batches=3,
+            pool_rebuilds=0,
+            batch_retries=0,
+            deadline_timeouts=0,
+            segment_failures=0,
+            inline_fallbacks=0,
+        )
+        assert not report.degraded
+        assert report.summary() == "healthy"
+
+
+class TestSegmentRegistry:
+    def test_lease_release_is_idempotent_and_audited(self):
+        registry = SegmentRegistry()
+        lease = registry.create(256)
+        assert registry.leaked() == 1
+        assert lease.name in registry.active()
+        lease.release()
+        lease.release()
+        assert registry.leaked() == 0
+        assert registry.created == 1 and registry.released == 1
+
+    def test_release_all_sweeps_everything(self):
+        registry = SegmentRegistry()
+        leases = [registry.create(64) for _ in range(4)]
+        assert registry.leaked() == 4
+        assert registry.release_all() == 4
+        assert registry.leaked() == 0
+        assert all(lease.released for lease in leases)
+
+    def test_release_tolerates_external_unlink(self):
+        registry = SegmentRegistry()
+        lease = registry.create(64)
+        lease.shm.unlink()  # someone else removed the name
+        lease.release()  # must not raise
+        assert registry.leaked() == 0
+
+    def test_context_manager_releases(self):
+        registry = SegmentRegistry()
+        with registry.create(64) as lease:
+            assert not lease.released
+        assert lease.released and registry.leaked() == 0
+
+
+class TestShardEncoderLeakFix:
+    def test_submit_failure_releases_segment(self, batch):
+        ts, _ = batch
+        registry = global_segment_registry()
+        enc = ShardedChunkEncoder(workers=2)
+        enc.close()  # pool shut down: the next submit raises mid-flight
+        before = registry.leaked()
+        with pytest.raises(RuntimeError):
+            enc.submit(ts[0])
+        assert registry.leaked() == before
+
+    def test_clean_submit_drain_leaves_no_segments(self, batch):
+        ts, blob = batch
+        registry = global_segment_registry()
+        with ShardedChunkEncoder(workers=2) as enc:
+            for t in ts:
+                enc.submit(t)
+            chunks = enc.drain()
+        assert serialize_cdc_chunks(chunks) == blob
+        assert registry.leaked() == 0
+
+
+class TestRetryPolicyJitter:
+    def test_seeded_jitter_is_deterministic(self):
+        a = RetryPolicy(attempts=5, jitter=0.5, seed=42)
+        b = RetryPolicy(attempts=5, jitter=0.5, seed=42)
+        assert [a.delay(i) for i in range(5)] == [b.delay(i) for i in range(5)]
+
+    def test_different_seeds_decorrelate(self):
+        a = RetryPolicy(attempts=5, jitter=0.5, seed=1)
+        b = RetryPolicy(attempts=5, jitter=0.5, seed=2)
+        assert [a.delay(i) for i in range(5)] != [b.delay(i) for i in range(5)]
+
+    def test_jitter_stays_within_band(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.25, seed=7)
+        for attempt in range(6):
+            base = min(0.1 * 2**attempt, 10.0)
+            assert 0.75 * base <= policy.delay(attempt) <= 1.25 * base
+
+    def test_zero_jitter_is_exact(self):
+        policy = RetryPolicy(base_delay=0.01, max_delay=0.25)
+        assert policy.delay(0) == 0.01
+        assert policy.delay(10) == 0.25
+
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class TestWatchdogProgressFeed:
+    def test_engine_progress_includes_encoder_batches(self, batch):
+        from repro.obs.watchdog import engine_progress
+
+        class FakeStats:
+            total_events = 10
+
+        class FakeEngine:
+            stats = FakeStats()
+
+        ts, _ = batch
+        enc = SupervisedEncoder(workers=2, backend="serial")
+
+        class FakeController:
+            def encode_progress(self):
+                return enc.completed_batches
+
+        progress = engine_progress(FakeEngine(), FakeController())
+        assert progress() == 10
+        enc.submit(ts[0])
+        enc.drain()
+        enc.close()
+        assert progress() == 11
+
+    def test_engine_progress_without_controller(self):
+        from repro.obs.watchdog import engine_progress
+
+        class FakeStats:
+            total_events = 7
+
+        class FakeEngine:
+            stats = FakeStats()
+
+        assert engine_progress(FakeEngine())() == 7
