@@ -172,6 +172,46 @@ class TestTimelineArtifact:
         )
 
 
+class TestProfilerOverheadGate:
+    def test_sampling_profiler_overhead(self, timeline_results):
+        """Sampling at the default 97 Hz must stay within 5% of a bare run.
+
+        The profiler reads ``sys._current_frames()`` from a daemon thread
+        and folds one stack per tick — the profiled thread never executes
+        profiler code. Best-of-N record passes, bare vs ``profile=97``;
+        the ratio lands in ``BENCH_timeline.json`` and >1.05 fails.
+        """
+        program = make_program(messages_per_rank=80)
+
+        def run_record(profile=None):
+            RecordSession(
+                program, nprocs=NPROCS, network_seed=1,
+                keep_outcomes=False, profile=profile,
+            ).run()
+
+        t_bare = _best_of(run_record, repeats=5)
+        t_prof = _best_of(lambda: run_record(profile=97), repeats=5)
+        ratio = t_prof / t_bare
+        timeline_results["profiler_overhead_ratio"] = round(ratio, 3)
+        emit(
+            "timeline_profiler_overhead",
+            render_table(
+                "Sampling profiler overhead (record, 8 ranks, 97 Hz)",
+                ["configuration", "wall time (s)"],
+                [
+                    ("no profiler", f"{t_bare:.4f}"),
+                    ("sampling at 97 Hz", f"{t_prof:.4f}"),
+                ],
+                note=f"overhead {100 * (ratio - 1):+.1f}% "
+                     "(out-of-thread frame walks)",
+            ),
+        )
+        assert ratio <= 1.05, (
+            f"sampling profiler costs {100 * (ratio - 1):.1f}% — the "
+            "sampler must stay out of the profiled thread's way"
+        )
+
+
 def synthetic_stream(n):
     import random
 

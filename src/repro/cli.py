@@ -416,6 +416,10 @@ def _telemetry_health(metrics_path: str) -> str:
     problems = validate_metrics_lines(lines)
     dropped = 0
     saturated: list[str] = []
+    tasks_submitted = 0
+    worker_gauges = 0
+    worker_snapshots = 0
+    worker_task_samples = 0
     for line in lines:
         if not line.strip():
             continue
@@ -427,6 +431,32 @@ def _telemetry_health(metrics_path: str) -> str:
             dropped = max(dropped, int(obj.get("dropped_events") or 0))
         elif obj.get("saturated"):
             saturated.append(str(obj.get("name")))
+        name = str(obj.get("name", ""))
+        if name == "encoder.tasks_submitted":
+            tasks_submitted = int(obj.get("value") or 0)
+        elif name == "encoder.worker_snapshots":
+            worker_snapshots = int(obj.get("value") or 0)
+        elif name.startswith("encoder.worker") and name.endswith(".utilization"):
+            worker_gauges += 1
+        elif name == "encoder.task_us":
+            worker_task_samples = int(obj.get("count") or 0)
+    # parallel encode without worker telemetry must read as *unknown* —
+    # a silent zero here looks like idle workers when the truth is that
+    # nothing reported (pre-merge dump, dead workers, telemetry off in
+    # the pool). Serial encode is the only case where "none" is fine.
+    if tasks_submitted == 0:
+        worker_row = "n/a (serial encode)"
+    elif worker_gauges or worker_task_samples or worker_snapshots:
+        worker_row = (
+            f"ok ({worker_gauges} worker gauge(s), "
+            f"{worker_task_samples} task sample(s), "
+            f"{worker_snapshots} snapshot(s) merged)"
+        )
+    else:
+        worker_row = (
+            f"unknown ⚠ {tasks_submitted} batch(es) submitted to a pool "
+            "but no worker telemetry reported"
+        )
     rows = [
         ("schema", "ok" if not problems else f"{len(problems)} problem(s)"),
         (
@@ -439,6 +469,7 @@ def _telemetry_health(metrics_path: str) -> str:
             if saturated
             else "none",
         ),
+        ("worker telemetry", worker_row),
     ]
     note = None
     if problems:
@@ -657,10 +688,44 @@ def cmd_runs(args: argparse.Namespace) -> int:
         print(render_run(entry))
         return 0
     if args.runs_command == "trend":
-        print(render_trend(entries, z_threshold=args.z))
+        print(
+            render_trend(
+                entries,
+                z_threshold=args.z,
+                sparkline_width=args.sparkline,
+            )
+        )
         flags, _ = trend_report(entries, z_threshold=args.z)
         return 1 if flags else 0
     print(render_runs(entries, limit=args.limit))
+    return 0
+
+
+def cmd_dash(args: argparse.Namespace) -> int:
+    """Render the single-file HTML perf dashboard (the CI artifact)."""
+    from repro.obs.dashboard import build_dashboard, validate_dashboard_html
+
+    health = None
+    if args.archive:
+        archive, _ = load_archive(args.archive, mode="strict")
+        health = archive.meta.get("encoder_health")
+    text = build_dashboard(
+        ledger=args.ledger,
+        bench_dir=args.bench_dir,
+        folded=args.folded,
+        health=health,
+        title=args.title,
+        generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        z_threshold=args.z,
+    )
+    problems = validate_dashboard_html(text)
+    if problems:
+        for problem in problems:
+            print(f"dashboard invalid: {problem}", file=sys.stderr)
+        return 1
+    with open(args.out, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    print(f"dashboard: {args.out} ({len(text):,} bytes, self-contained)")
     return 0
 
 
@@ -721,12 +786,14 @@ def cmd_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    """cProfile a record (and optionally replay) pass; print hotspots.
+    """Profile a record (and optionally replay) pass; print hotspots.
 
     The one-command perf baseline: every optimization PR runs this before
-    and after to show where the time went. Sorted by cumulative time so
-    the pipeline stages (engine loop, builder adds, chunk encodes) stack
-    naturally; ``--sort tottime`` surfaces leaf hotspots instead.
+    and after to show where the time went. Default is cProfile
+    (deterministic, per-call, 2-5x overhead); ``--sample`` switches to the
+    low-overhead sampling profiler (:mod:`repro.obs.profiler`), which is
+    safe on runs whose timing you care about and exports flamegraph
+    inputs (``--folded-out``) and speedscope files (``--speedscope-out``).
     """
     import cProfile
     import io
@@ -734,6 +801,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
 
     params = _parse_params(args.param)
     program, _ = make_workload(args.workload, args.nprocs, **params)
+    if args.sample:
+        return _cmd_profile_sample(args, program)
 
     def record_pass():
         return RecordSession(
@@ -788,6 +857,49 @@ def cmd_profile(args: argparse.Namespace) -> int:
         buf = io.StringIO()
         pstats.Stats(profiler, stream=buf).sort_stats(args.sort).print_stats(width)
         print(buf.getvalue())
+    return 0
+
+
+def _cmd_profile_sample(args: argparse.Namespace, program) -> int:
+    """``repro profile --sample``: sampling profile of a session pass."""
+    from repro.obs.profiler import SamplingProfiler
+
+    sampler = SamplingProfiler(hz=args.hz)
+    if args.mode == "record":
+        result = RecordSession(
+            program,
+            nprocs=args.nprocs,
+            network_seed=args.network_seed,
+            chunk_events=args.chunk_events,
+            keep_outcomes=False,
+            profile=sampler,
+        ).run()
+    else:  # record unprofiled, sample the replay
+        recorded = RecordSession(
+            program,
+            nprocs=args.nprocs,
+            network_seed=args.network_seed,
+            chunk_events=args.chunk_events,
+        ).run()
+        result = ReplaySession(
+            program,
+            recorded.archive,
+            network_seed=args.network_seed + 1,
+            profile=sampler,
+        ).run()
+    print(
+        f"{args.mode} of {args.workload} at {args.nprocs} ranks "
+        f"({result.stats.total_events:,} engine events)"
+    )
+    print(result.profile.render(args.top))
+    if args.folded_out:
+        result.profile.write_collapsed(args.folded_out)
+        print(f"collapsed stacks: {args.folded_out} (flamegraph.pl input)")
+    if args.speedscope_out:
+        result.profile.write_speedscope(
+            args.speedscope_out, name=f"{args.mode} {args.workload}"
+        )
+        print(f"speedscope profile: {args.speedscope_out} (open at speedscope.app)")
     return 0
 
 
@@ -1020,6 +1132,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--z", type=float, default=3.0, metavar="Z",
         help="|z| threshold beyond which a run flags as a regression",
     )
+    p_runs_trend.add_argument(
+        "--sparkline", type=int, nargs="?", const=60, default=None,
+        metavar="WIDTH",
+        help="render each metric as a wide unicode sparkline chart "
+             "(optionally WIDTH cells, default 60)",
+    )
     p_runs_trend.set_defaults(func=cmd_runs)
 
     p_compare = sub.add_parser(
@@ -1027,6 +1145,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_args(p_compare)
     p_compare.set_defaults(func=cmd_compare)
+
+    p_dash = sub.add_parser(
+        "dash",
+        help="render the single-file HTML perf dashboard (ledger trends, "
+             "bench history, encoder health, flamegraph)",
+    )
+    p_dash.add_argument("--out", required=True, metavar="FILE")
+    p_dash.add_argument(
+        "--ledger", metavar="FILE", help="run-ledger JSONL for trend charts"
+    )
+    p_dash.add_argument(
+        "--bench-dir", default=".", metavar="DIR",
+        help="directory holding BENCH_*.json files (default: .)",
+    )
+    p_dash.add_argument(
+        "--folded", metavar="FILE",
+        help="collapsed-stack file from `repro profile --sample --folded-out`",
+    )
+    p_dash.add_argument(
+        "--archive", metavar="DIR",
+        help="archive whose encoder health report to include",
+    )
+    p_dash.add_argument("--title", default="repro perf dashboard")
+    p_dash.add_argument(
+        "--z", type=float, default=3.0, metavar="Z",
+        help="|z| threshold for trend regression flags",
+    )
+    p_dash.set_defaults(func=cmd_dash)
 
     p_transcode = sub.add_parser(
         "transcode", help="compress a JSON-lines trace with every method"
@@ -1057,6 +1203,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_profile.add_argument(
         "--raw", action="store_true",
         help="additionally print the full pstats report",
+    )
+    p_profile.add_argument(
+        "--sample", action="store_true",
+        help="use the low-overhead sampling profiler instead of cProfile",
+    )
+    p_profile.add_argument(
+        "--hz", type=float, default=97.0, metavar="HZ",
+        help="sampling rate for --sample (default 97)",
+    )
+    p_profile.add_argument(
+        "--folded-out", metavar="FILE",
+        help="with --sample: write collapsed stacks (flamegraph.pl input)",
+    )
+    p_profile.add_argument(
+        "--speedscope-out", metavar="FILE",
+        help="with --sample: write a speedscope JSON profile",
     )
     p_profile.set_defaults(func=cmd_profile)
     return parser

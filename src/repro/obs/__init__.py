@@ -23,6 +23,11 @@ Typical use::
     write_metrics_jsonl(reg, "metrics.jsonl")
 """
 
+from repro.obs.bench import (
+    bench_histories,
+    load_bench_files,
+    validate_bench_json,
+)
 from repro.obs.causal import (
     FlowMatchStats,
     FlowRecorder,
@@ -30,6 +35,11 @@ from repro.obs.causal import (
     FlowSend,
     merged_timeline,
     write_timeline,
+)
+from repro.obs.dashboard import (
+    build_dashboard,
+    validate_dashboard_html,
+    write_dashboard,
 )
 from repro.obs.export import (
     chrome_trace,
@@ -66,6 +76,12 @@ from repro.obs.ledger import (
     render_trend,
     trend_report,
     validate_ledger_lines,
+)
+from repro.obs.profiler import (
+    SamplingProfiler,
+    resolve_profiler,
+    validate_collapsed_stacks,
+    validate_speedscope,
 )
 from repro.obs.monitor import (
     MetricsStreamWriter,
@@ -104,12 +120,15 @@ __all__ = [
     "ProgressWatchdog",
     "RunLedger",
     "RunStats",
+    "SamplingProfiler",
     "Span",
     "StallReport",
     "TelemetryRegistry",
     "TraceEvent",
     "TrendFlag",
     "WatchdogConfig",
+    "bench_histories",
+    "build_dashboard",
     "build_run_stats",
     "build_stall_report",
     "chrome_trace",
@@ -118,12 +137,14 @@ __all__ = [
     "event",
     "first_divergence_candidate",
     "get_registry",
+    "load_bench_files",
     "merged_timeline",
     "metrics_lines",
     "render_monitor",
     "render_run",
     "render_runs",
     "render_trend",
+    "resolve_profiler",
     "resolve_registry",
     "set_registry",
     "span",
@@ -131,10 +152,15 @@ __all__ = [
     "telemetry_enabled",
     "trend_report",
     "use_registry",
+    "validate_bench_json",
     "validate_chrome_trace",
+    "validate_collapsed_stacks",
     "validate_ledger_lines",
+    "validate_dashboard_html",
     "validate_metrics_lines",
+    "validate_speedscope",
     "write_chrome_trace",
+    "write_dashboard",
     "write_metrics_jsonl",
     "write_timeline",
 ]

@@ -1,0 +1,110 @@
+"""Shared schema for the repo's ``BENCH_*.json`` benchmark files.
+
+Every benchmark suite (``benchmarks/test_*.py``) writes one flat JSON
+file at the repo root — current scalars plus optional ``*_history`` lists
+that accumulate across runs. The dashboard plots them and CI gates on
+them, so a malformed entry (a string where a number belongs, a history
+that is not a list) must fail fast instead of silently skewing a trend
+curve. :func:`validate_bench_json` is that shared gate: the benchmarks'
+own tests, the CI ``dashboard`` job, and :mod:`repro.obs.dashboard` all
+call the same checks.
+
+Schema (deliberately loose — benchmarks differ, shapes do not):
+
+* the document is a flat JSON object;
+* ``generated_at`` is present and is a string timestamp;
+* every ``*_history`` value is a list of finite numbers;
+* every other value is a finite number, a string, or a bool — no nested
+  objects, no nulls, no NaN/inf smuggled through ``float``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import math
+import os
+from typing import Any, Mapping
+
+__all__ = [
+    "BENCH_GLOB",
+    "bench_histories",
+    "load_bench_files",
+    "validate_bench_json",
+]
+
+BENCH_GLOB = "BENCH_*.json"
+
+
+def _finite_number(value: Any) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def validate_bench_json(doc: Any, name: str = "bench") -> list[str]:
+    """Schema-check one BENCH document; returns problem strings."""
+    problems: list[str] = []
+    if not isinstance(doc, Mapping):
+        return [f"{name}: not a JSON object"]
+    generated = doc.get("generated_at")
+    if not isinstance(generated, str) or not generated:
+        problems.append(f"{name}: generated_at missing or not a string")
+    for key, value in doc.items():
+        if not isinstance(key, str):
+            problems.append(f"{name}: non-string key {key!r}")
+            continue
+        if key == "generated_at":
+            continue
+        if key.endswith("_history"):
+            if not isinstance(value, list):
+                problems.append(f"{name}.{key}: history is not a list")
+            elif not value:
+                problems.append(f"{name}.{key}: history is empty")
+            elif not all(_finite_number(v) for v in value):
+                problems.append(f"{name}.{key}: non-numeric history entry")
+            continue
+        if isinstance(value, (str, bool)):
+            continue
+        if not _finite_number(value):
+            problems.append(
+                f"{name}.{key}: value must be a finite number, string, or "
+                f"bool, got {type(value).__name__}"
+            )
+    return problems
+
+
+def load_bench_files(root: str = ".") -> dict[str, dict[str, Any]]:
+    """``{file stem: document}`` for every parseable BENCH file in ``root``.
+
+    Unreadable or unparseable files are skipped (the validator, not the
+    loader, is the gate); call :func:`validate_bench_json` per document
+    when failing fast is the point.
+    """
+    docs: dict[str, dict[str, Any]] = {}
+    for path in sorted(glob.glob(os.path.join(root, BENCH_GLOB))):
+        name = os.path.splitext(os.path.basename(path))[0]
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            continue
+        if isinstance(doc, dict):
+            docs[name] = doc
+    return docs
+
+
+def bench_histories(
+    docs: Mapping[str, Mapping[str, Any]]
+) -> dict[str, list[float]]:
+    """Flatten ``*_history`` series to ``{"file.metric": [floats]}``."""
+    out: dict[str, list[float]] = {}
+    for name, doc in sorted(docs.items()):
+        for key, value in sorted(doc.items()):
+            if key.endswith("_history") and isinstance(value, list) and value:
+                if all(_finite_number(v) for v in value):
+                    metric = key[: -len("_history")]
+                    out[f"{name}.{metric}"] = [float(v) for v in value]
+    return out

@@ -455,7 +455,15 @@ def render_trend(
     entries: Sequence[LedgerEntry],
     z_threshold: float = TREND_Z,
     min_runs: int = TREND_MIN_RUNS,
+    sparkline_width: int | None = None,
 ) -> str:
+    """Terminal trend report; ``sparkline_width`` switches to wide charts.
+
+    The default one-liner-per-metric form keeps ``repro runs trend``
+    scannable; ``--sparkline`` (a width, e.g. 60) renders each metric as
+    a full-width sparkline annotated with its min/max band, so ledger
+    trends are readable without the HTML dashboard.
+    """
     flags, series = trend_report(entries, z_threshold, min_runs)
     title = f"run trends over {len(entries)} ledgered run(s)"
     lines = [title, "=" * len(title)]
@@ -469,10 +477,19 @@ def render_trend(
             values = series[group].get(metric, [])
             if not values:
                 continue
-            lines.append(
-                f"  {metric}: {sparkline(values)} "
-                f"latest {values[-1]:.3f} (n={len(values)})"
-            )
+            if sparkline_width:
+                chart = sparkline(values, width=sparkline_width)
+                lines.append(f"  {metric} (n={len(values)}):")
+                lines.append(f"    {chart}")
+                lines.append(
+                    f"    min {min(values):.3f}  max {max(values):.3f}  "
+                    f"latest {values[-1]:.3f}"
+                )
+            else:
+                lines.append(
+                    f"  {metric}: {sparkline(values)} "
+                    f"latest {values[-1]:.3f} (n={len(values)})"
+                )
     if flags:
         lines.append(f"regressions (|z| > {z_threshold:g}):")
         for flag in flags:

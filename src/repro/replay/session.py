@@ -37,6 +37,7 @@ from repro.obs import (
     span,
     use_registry,
 )
+from repro.obs.profiler import SamplingProfiler, resolve_profiler
 from repro.obs.watchdog import engine_progress, replay_progress, resolve_watchdog
 from repro.replay.chunk_store import RecordArchive
 from repro.replay.cost_model import RecordingCostModel
@@ -96,6 +97,9 @@ class RunResult:
     encoder_health: Any = None
     #: ledger line appended for this run (sessions with ``ledger=`` only).
     ledger_entry: Any = None
+    #: stopped sampling profiler, when the session ran with ``profile=`` —
+    #: export with ``write_collapsed`` / ``write_speedscope``.
+    profile: SamplingProfiler | None = None
 
     @property
     def truncated(self) -> bool:
@@ -132,6 +136,7 @@ class _Session:
         metrics_interval: float = 0.05,
         ledger: Any = None,
         run_id: str = "",
+        profile: Any = None,
     ) -> None:
         self.program = program
         self.nprocs = nprocs
@@ -162,6 +167,10 @@ class _Session:
             ledger = RunLedger(ledger)
         self.ledger = ledger
         self.run_id = run_id
+        #: ``profile``: None/False = off, True = default-rate sampling
+        #: profiler, a number = sampling Hz, or a
+        #: :class:`~repro.obs.profiler.SamplingProfiler` to share/configure.
+        self.profiler = resolve_profiler(profile)
         self._wall_seconds = 0.0
         self._archive_path: str | None = None
 
@@ -179,6 +188,8 @@ class _Session:
         )
         self._engine = engine  # kept for post-mortem diagnostics
         watchdog = stream = None
+        if self.profiler is not None and not self.profiler.running:
+            self.profiler.start()  # samples this (the engine's) thread
         t0 = time.perf_counter()
         try:
             with use_registry(self.registry):
@@ -213,6 +224,8 @@ class _Session:
             if stream is not None:
                 with use_registry(self.registry):
                     stream.close()
+            if self.profiler is not None:
+                self.profiler.stop()
             self._wall_seconds = time.perf_counter() - t0
         result = RunResult(mode=mode, nprocs=self.nprocs, stats=stats)
         result.app_results = {p.rank: p.result for p in engine.procs}
@@ -224,6 +237,7 @@ class _Session:
     def _attach_stats(self, result: RunResult) -> RunResult:
         """Stamp the run's telemetry rollup onto its result."""
         result.registry = self.registry
+        result.profile = self.profiler
         if self.registry.enabled:
             chunks = stored_bytes = 0
             if result.archive is not None:
@@ -299,6 +313,7 @@ class RecordSession(_Session):
         metrics_interval: float = 0.05,
         ledger: Any = None,
         run_id: str = "",
+        profile: Any = None,
     ) -> None:
         super().__init__(
             program,
@@ -313,6 +328,7 @@ class RecordSession(_Session):
             metrics_interval=metrics_interval,
             ledger=ledger,
             run_id=run_id,
+            profile=profile,
         )
         self.chunk_events = chunk_events
         self.cost_model = cost_model
@@ -429,6 +445,7 @@ class ReplaySession(_Session):
         metrics_interval: float = 0.05,
         ledger: Any = None,
         run_id: str = "",
+        profile: Any = None,
     ) -> None:
         if mode not in ("strict", "salvage"):
             raise ValueError(f"mode must be 'strict' or 'salvage', got {mode!r}")
@@ -453,6 +470,7 @@ class ReplaySession(_Session):
             metrics_interval=metrics_interval,
             ledger=ledger,
             run_id=run_id,
+            profile=profile,
         )
         self._archive_path = archive_path
         self.archive = archive

@@ -27,13 +27,23 @@ Ceiling decoupling is the same trick the thread pool uses (see
 ``parallel_encoder``): the producer advances per-callsite ceilings
 synchronously from each table's epoch line and snapshots them into the
 task, making every encode independent.
+
+Telemetry crosses the process boundary the same way the chunks do: when
+the producer's registry is enabled at submit time, the worker collects
+into a private :class:`~repro.obs.TelemetryRegistry` and ships a compact
+:meth:`~repro.obs.TelemetryRegistry.export_snapshot` delta back with the
+batch result; the producer folds it in at drain with
+:meth:`~repro.obs.TelemetryRegistry.merge`. Per-batch snapshots are
+deltas by construction (each batch collects into a fresh registry), so
+merging them in any drain order is exact.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 import numpy as np
 
@@ -44,7 +54,7 @@ from repro.core.columnar import (
 )
 from repro.core.pipeline import CDCChunk
 from repro.core.record_table import RecordTable
-from repro.obs import get_registry
+from repro.obs import TelemetryRegistry, get_registry, use_registry
 from repro.replay.parallel_encoder import advance_ceilings
 from repro.replay.shm import SegmentLease, attach_segment, global_segment_registry
 
@@ -52,6 +62,7 @@ __all__ = [
     "ShardedChunkEncoder",
     "default_shard_workers",
     "encode_chunk_sequence_sharded",
+    "merge_worker_snapshot",
 ]
 
 #: (callsite, start, end, with_next, unmatched_runs, ceilings) — everything
@@ -91,13 +102,60 @@ def _encode_specs(
     return out
 
 
+def _collect_encode(encode, collect: bool):
+    """Run ``encode()`` under a worker-local registry; return its snapshot.
+
+    ``collect=False`` (producer telemetry off at submit time) pins the
+    null registry instead — a forked worker otherwise inherits a *copy*
+    of the producer's enabled registry and would pay full instrument
+    cost for numbers nobody can ever read.
+    """
+    if not collect:
+        with use_registry(None):
+            return encode(), None
+    local = TelemetryRegistry("worker", max_events=0)
+    t0 = time.perf_counter_ns()
+    with use_registry(local):
+        out = encode()
+    busy_ns = time.perf_counter_ns() - t0
+    local.histogram("encoder.task_us").observe(busy_ns // 1000)
+    snapshot = local.export_snapshot()
+    snapshot["worker"] = os.getpid()
+    snapshot["busy_ns"] = busy_ns
+    return out, snapshot
+
+
+def merge_worker_snapshot(
+    registry, snapshot: Mapping[str, Any] | None
+) -> tuple[int, int]:
+    """Fold one worker batch snapshot into ``registry``.
+
+    Returns ``(worker_id, busy_ns)`` for the caller's utilization
+    bookkeeping — ``(0, 0)`` when there was nothing to merge. Counts the
+    merge itself (``encoder.worker_snapshots``) so downstream health
+    checks can tell "no worker telemetry arrived" from "workers were
+    idle" instead of reporting a silent zero.
+    """
+    if snapshot is None or not registry.enabled:
+        return 0, 0
+    registry.merge(snapshot)
+    registry.counter("encoder.worker_snapshots").add()
+    return int(snapshot.get("worker", 0)), int(snapshot.get("busy_ns", 0))
+
+
 def _encode_shard(
-    shm_name: str, total: int, specs: Sequence[_TableSpec], replay_assist: bool
-) -> list[CDCChunk]:
+    shm_name: str,
+    total: int,
+    specs: Sequence[_TableSpec],
+    replay_assist: bool,
+    collect: bool = False,
+) -> tuple[list[CDCChunk], dict[str, Any] | None]:
     """Worker entry: attach the shared columns, encode one shard."""
     shm = attach_segment(shm_name)
     try:
-        return _encode_specs(shm.buf, total, specs, replay_assist)
+        return _collect_encode(
+            lambda: _encode_specs(shm.buf, total, specs, replay_assist), collect
+        )
     finally:
         shm.close()
 
@@ -164,6 +222,9 @@ class ShardedChunkEncoder:
         self.workers = workers if workers is not None else default_shard_workers()
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
         self._pending: list[tuple[Future, SegmentLease]] = []
+        self._created_ns = time.perf_counter_ns()
+        #: per worker pid: busy ns merged back from batch snapshots.
+        self._proc_busy_ns: dict[int, int] = {}
 
     def submit(
         self,
@@ -188,7 +249,12 @@ class ShardedChunkEncoder:
             if registry.enabled:
                 registry.counter("encoder.tasks_submitted").add()
             future = self._pool.submit(
-                _encode_shard, lease.name, total, [spec], replay_assist
+                _encode_shard,
+                lease.name,
+                total,
+                [spec],
+                replay_assist,
+                registry.enabled,
             )
         except BaseException:
             # anything between create and a successful pool handoff must
@@ -203,9 +269,16 @@ class ShardedChunkEncoder:
         """Collect all completed chunks in submission order."""
         pending, self._pending = self._pending, []
         chunks: list[CDCChunk] = []
+        registry = get_registry()
         try:
             for future, _ in pending:
-                chunks.extend(future.result())
+                batch, snapshot = future.result()
+                chunks.extend(batch)
+                worker, busy_ns = merge_worker_snapshot(registry, snapshot)
+                if busy_ns:
+                    self._proc_busy_ns[worker] = (
+                        self._proc_busy_ns.get(worker, 0) + busy_ns
+                    )
         finally:
             for _, lease in pending:
                 lease.release()
@@ -215,11 +288,30 @@ class ShardedChunkEncoder:
     def pending(self) -> int:
         return len(self._pending)
 
+    def worker_utilization(self) -> dict[int, float]:
+        """Busy fraction per worker process since the encoder was created.
+
+        Dense worker indexes in pid order, built from the busy time each
+        batch snapshot shipped back — the process-pool analogue of
+        :meth:`ParallelChunkEncoder.worker_utilization`.
+        """
+        wall = time.perf_counter_ns() - self._created_ns
+        if wall <= 0:
+            return {}
+        busy = sorted(self._proc_busy_ns.items())
+        return {i: ns / wall for i, (_pid, ns) in enumerate(busy)}
+
     def close(self) -> None:
         for _, lease in self._pending:  # drain not reached (error paths)
             lease.release()
         self._pending = []
         self._pool.shutdown(wait=True)
+        registry = get_registry()
+        if registry.enabled:
+            for worker, fraction in self.worker_utilization().items():
+                registry.gauge(f"encoder.worker{worker}.utilization").set(
+                    round(fraction, 4)
+                )
 
     def __enter__(self) -> "ShardedChunkEncoder":
         return self
@@ -264,12 +356,25 @@ def encode_chunk_sequence_sharded(
         if workers <= 1 or len(ctables) < 2:
             # serial fast path: same segment, same specs, no pool
             return _encode_specs(lease.buf, total, specs, replay_assist)
+        registry = get_registry()
         shards = _balanced_shards(specs, workers)
         with ProcessPoolExecutor(max_workers=len(shards)) as pool:
             futures = [
-                pool.submit(_encode_shard, lease.name, total, shard, replay_assist)
+                pool.submit(
+                    _encode_shard,
+                    lease.name,
+                    total,
+                    shard,
+                    replay_assist,
+                    registry.enabled,
+                )
                 for shard in shards
             ]
-            return [chunk for future in futures for chunk in future.result()]
+            chunks = []
+            for future in futures:
+                batch, snapshot = future.result()
+                chunks.extend(batch)
+                merge_worker_snapshot(registry, snapshot)
+            return chunks
     finally:
         lease.release()

@@ -65,7 +65,12 @@ from repro.core.pipeline import CDCChunk
 from repro.core.record_table import RecordTable
 from repro.obs import event, get_registry
 from repro.replay.durable_store import RetryPolicy
-from repro.replay.shard_encoder import _encode_specs, default_shard_workers
+from repro.replay.shard_encoder import (
+    _collect_encode,
+    _encode_specs,
+    default_shard_workers,
+    merge_worker_snapshot,
+)
 from repro.replay.shm import (
     SegmentLease,
     SegmentRegistry,
@@ -244,13 +249,21 @@ def _supervised_shard(
     chaos,
     batch: int,
     attempt: int,
+    collect: bool = False,
 ):
-    """Worker entry: optional chaos hook, untracked attach, encode, close."""
+    """Worker entry: optional chaos hook, untracked attach, encode, close.
+
+    Returns ``(chunks, telemetry_snapshot | None)`` — the snapshot is the
+    worker-local instrument delta for this batch, shipped back with the
+    result so the producer can merge it (see shard_encoder).
+    """
     if chaos is not None:
         chaos.in_worker(batch, attempt)
     shm = attach_segment(shm_name)
     try:
-        return _encode_specs(shm.buf, total, specs, replay_assist)
+        return _collect_encode(
+            lambda: _encode_specs(shm.buf, total, specs, replay_assist), collect
+        )
     finally:
         shm.close()
 
@@ -354,9 +367,11 @@ class SupervisedEncoder:
         self._quarantined: list[int] = []
         self._downgrades: list[DowngradeEvent] = []
         # per-thread busy time for the worker-utilization gauges (matches
-        # ParallelChunkEncoder: only threads that encoded appear)
+        # ParallelChunkEncoder: only threads that encoded appear); process
+        # workers report busy time through their batch snapshots instead.
         self._created_ns = time.perf_counter_ns()
         self._busy_ns: dict[int, int] = {}
+        self._proc_busy_ns: dict[int, int] = {}
         self._busy_lock = threading.Lock()
 
     # -- public contract ----------------------------------------------------
@@ -447,18 +462,21 @@ class SupervisedEncoder:
                 )
 
     def worker_utilization(self) -> dict[int, float]:
-        """Busy fraction per encoding thread since the encoder was created.
+        """Busy fraction per encoding worker since the encoder was created.
 
-        Dense worker indexes in thread-id order; only threads that encoded
-        at least one batch appear (process-rung batches encode in worker
-        *processes* and are timed there, not here).
+        Dense worker indexes; only workers that encoded at least one batch
+        appear. Process workers come first (pid order, timed inside the
+        worker and shipped back in the batch telemetry snapshot), then
+        producer/pool threads (thread-id order, timed locally).
         """
         wall = time.perf_counter_ns() - self._created_ns
         if wall <= 0:
             return {}
         with self._busy_lock:
-            busy = sorted(self._busy_ns.items())
-        return {i: ns / wall for i, (_tid, ns) in enumerate(busy)}
+            busy = sorted(self._proc_busy_ns.items()) + sorted(
+                self._busy_ns.items()
+            )
+        return {i: ns / wall for i, (_wid, ns) in enumerate(busy)}
 
     def abort(self) -> None:
         """Crash-path cleanup: kill workers, release every segment, no wait."""
@@ -548,6 +566,7 @@ class SupervisedEncoder:
                         self.chaos,
                         task.index,
                         task.attempts,
+                        get_registry().enabled,
                     )
                 else:
                     # thread rung — or a process task whose segment never
@@ -594,7 +613,7 @@ class SupervisedEncoder:
                 task.attempts += 1
                 self._finish(task, self._encode_task(task))
                 continue
-            self._finish(task, result[0] if isinstance(result, list) else result)
+            self._finish(task, self._unpack(result))
 
     def _on_pool_failure(self, reason: str, hung: bool) -> None:
         """The pool is unusable: harvest survivors, retry the rest."""
@@ -607,10 +626,7 @@ class SupervisedEncoder:
             if future is None:
                 continue
             if future.done() and future.exception() is None:
-                result = future.result()
-                self._finish(
-                    task, result[0] if isinstance(result, list) else result
-                )
+                self._finish(task, self._unpack(future.result()))
                 continue
             task.future = None
             task.attempts += 1
@@ -716,6 +732,24 @@ class SupervisedEncoder:
 
     def _iter_unfinished(self):
         return (t for t in self._tasks if t.chunk is None)
+
+    def _unpack(self, result) -> CDCChunk:
+        """Normalize a pool result to one chunk, folding worker telemetry.
+
+        Process workers return ``(chunks, snapshot | None)``; thread-pool
+        and inline paths return a bare :class:`CDCChunk` (a frozen
+        dataclass, so the tuple check is unambiguous).
+        """
+        if isinstance(result, tuple):
+            batch, snapshot = result
+            worker, busy_ns = merge_worker_snapshot(get_registry(), snapshot)
+            if busy_ns:
+                with self._busy_lock:
+                    self._proc_busy_ns[worker] = (
+                        self._proc_busy_ns.get(worker, 0) + busy_ns
+                    )
+            return batch[0]
+        return result
 
     def _finish(self, task: _Task, chunk: CDCChunk) -> None:
         task.chunk = chunk

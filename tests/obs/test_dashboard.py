@@ -1,0 +1,149 @@
+"""Dashboard + BENCH schema: build, validate, self-containment."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    build_dashboard,
+    validate_bench_json,
+    validate_dashboard_html,
+    write_dashboard,
+)
+from repro.obs.bench import bench_histories, load_bench_files
+from repro.obs.dashboard import REQUIRED_SECTIONS
+from repro.replay import RecordSession
+from repro.workloads import make_workload
+
+
+def seeded_ledger(tmp_path, runs=3):
+    path = str(tmp_path / "ledger.jsonl")
+    program, _ = make_workload("mcb", 4)
+    for seed in range(1, runs + 1):
+        RecordSession(
+            program,
+            nprocs=4,
+            network_seed=seed,
+            ledger=path,
+            meta={"workload": "mcb"},
+        ).run()
+    return path
+
+
+class TestBenchSchema:
+    def test_valid_document(self):
+        doc = {
+            "generated_at": "2026-08-07T00:00:00+0000",
+            "events_per_sec": 123456,
+            "ratio": 1.04,
+            "label": "x",
+            "flag": True,
+            "events_per_sec_history": [1.0, 2.0],
+        }
+        assert validate_bench_json(doc) == []
+
+    def test_problems_flagged(self):
+        assert validate_bench_json([]) != []
+        assert validate_bench_json({}) != []  # no generated_at
+        assert validate_bench_json(
+            {"generated_at": "t", "x_history": "notalist"}
+        ) != []
+        assert validate_bench_json(
+            {"generated_at": "t", "x_history": []}
+        ) != []
+        assert validate_bench_json(
+            {"generated_at": "t", "x_history": [1, "two"]}
+        ) != []
+        assert validate_bench_json({"generated_at": "t", "x": None}) != []
+        assert validate_bench_json({"generated_at": "t", "x": {"y": 1}}) != []
+        assert validate_bench_json(
+            {"generated_at": "t", "x": float("nan")}
+        ) != []
+
+    def test_load_and_histories(self, tmp_path):
+        (tmp_path / "BENCH_a.json").write_text(
+            json.dumps(
+                {"generated_at": "t", "m": 2, "m_history": [1, 2, 3]}
+            )
+        )
+        (tmp_path / "BENCH_broken.json").write_text("{not json")
+        docs = load_bench_files(str(tmp_path))
+        assert set(docs) == {"BENCH_a"}
+        assert bench_histories(docs) == {"BENCH_a.m": [1.0, 2.0, 3.0]}
+
+    def test_repo_bench_files_pass_schema(self):
+        # the shared gate CI runs: every committed BENCH file validates
+        docs = load_bench_files(".")
+        assert docs, "expected BENCH_*.json at the repo root"
+        for name, doc in docs.items():
+            assert validate_bench_json(doc, name) == []
+
+
+class TestDashboard:
+    FOLDED = [
+        "main;engine;encode 60",
+        "main;engine;deliver 30",
+        "main;io 10",
+    ]
+
+    def test_empty_inputs_still_valid(self, tmp_path):
+        text = build_dashboard(bench_dir=str(tmp_path))
+        assert validate_dashboard_html(text) == []
+        for section in REQUIRED_SECTIONS:
+            assert section in text
+
+    def test_full_build_from_real_run(self, tmp_path):
+        ledger = seeded_ledger(tmp_path)
+        text = build_dashboard(
+            ledger=ledger,
+            bench_dir=".",  # the repo's committed BENCH files
+            folded=self.FOLDED,
+            health={
+                "backend_requested": "process",
+                "backend_final": "thread",
+                "batches": 4,
+                "pool_rebuilds": 1,
+                "downgrades": [["process", "thread", "worker-lost"]],
+            },
+            generated_at="2026-08-07T00:00:00+0000",
+        )
+        assert validate_dashboard_html(text) == []
+        assert "mcb/record @ 4 ranks" in text
+        assert "bytes_per_event" in text
+        assert "fg-cell" in text and "encode" in text
+        assert "worker-lost" in text
+        # charts carry their data for the hover layer
+        assert "data-values=" in text
+
+    def test_write_dashboard(self, tmp_path):
+        path = write_dashboard(
+            str(tmp_path / "dash.html"), bench_dir=str(tmp_path)
+        )
+        text = open(path, encoding="utf-8").read()
+        assert validate_dashboard_html(text) == []
+
+    def test_untrusted_names_escaped(self, tmp_path):
+        evil = '<script>alert(1)</script>'
+        text = build_dashboard(
+            bench_dir=str(tmp_path),
+            folded=[f"main;{evil} 5"],
+        )
+        assert evil not in text
+        assert "&lt;script&gt;" in text
+        assert validate_dashboard_html(text) == []
+
+    def test_validator_catches_problems(self):
+        assert "missing <!DOCTYPE html> preamble" in "; ".join(
+            validate_dashboard_html("<html></html>")
+        )
+        text = build_dashboard(bench_dir="/nonexistent")
+        broken = text.replace('id="dash-flame"', 'id="dash-f"')
+        assert any(
+            "dash-flame" in p for p in validate_dashboard_html(broken)
+        )
+        external = text.replace(
+            "<script>", '<script src="https://evil.example/x.js"></script><script>'
+        )
+        assert any(
+            "external asset" in p for p in validate_dashboard_html(external)
+        )

@@ -298,3 +298,16 @@ class TestRendering:
 
     def test_render_trend_empty(self):
         assert "empty" in render_trend([])
+
+    def test_render_trend_wide_sparkline(self):
+        entries = [
+            _entry(run_id=f"r{i:04d}", stored_bytes=s)
+            for i, s in enumerate([250, 251, 249, 250, 252], start=1)
+        ]
+        text = render_trend(entries, sparkline_width=40)
+        assert "bytes_per_event (n=5):" in text
+        assert "min " in text and "max " in text and "latest " in text
+        # one sparkline cell per run (width is a cap, not a stretch)
+        lines = text.splitlines()
+        chart = lines[lines.index("  bytes_per_event (n=5):") + 1]
+        assert len(chart.strip()) == 5

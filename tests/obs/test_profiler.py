@@ -1,0 +1,175 @@
+"""Sampling profiler: folding, bounds, exports, session wiring."""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    SamplingProfiler,
+    resolve_profiler,
+    validate_collapsed_stacks,
+    validate_speedscope,
+)
+from repro.replay import RecordSession, ReplaySession, assert_replay_matches
+from repro.workloads import make_workload
+
+
+def busy_wait(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(200))
+
+
+class TestSampler:
+    def test_collects_samples_from_calling_thread(self):
+        prof = SamplingProfiler(hz=400)
+        prof.start()
+        busy_wait(0.15)
+        prof.stop()
+        assert prof.samples > 0
+        assert prof.folded
+        assert prof.duration_seconds > 0.1
+        # every folded stack should pass through this test function
+        assert any("busy_wait" in stack for stack in prof.folded)
+
+    def test_stop_is_idempotent_and_start_twice_rejected(self):
+        prof = SamplingProfiler(hz=100)
+        prof.start()
+        with pytest.raises(RuntimeError):
+            prof.start()
+        prof.stop()
+        duration = prof.duration_seconds
+        prof.stop()
+        assert prof.duration_seconds == duration
+
+    def test_context_manager(self):
+        with SamplingProfiler(hz=400) as prof:
+            busy_wait(0.05)
+        assert not prof.running
+        assert prof.samples > 0
+
+    def test_bounded_memory_counts_dropped_stacks(self):
+        prof = SamplingProfiler(hz=1, max_stacks=2)
+        # exercise the fold path directly: 3 distinct stacks, bound of 2
+        prof.folded = {"a;b": 1, "a;c": 1}
+        prof.samples = 2
+
+        class FakeCode:
+            co_filename = "x.py"
+            co_name = "f"
+
+        class FakeFrame:
+            f_code = FakeCode()
+            f_back = None
+
+        prof._record(FakeFrame())
+        assert prof.dropped_stacks == 1
+        assert len(prof.folded) == 2
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_stacks=0)
+
+    def test_samples_only_target_thread(self):
+        prof = SamplingProfiler(hz=400)
+        stop = threading.Event()
+        noise = threading.Thread(target=lambda: stop.wait(1.0))
+        noise.start()
+        prof.start()
+        busy_wait(0.1)
+        prof.stop()
+        stop.set()
+        noise.join()
+        assert all("busy_wait" in s or "test_profiler" in s for s in prof.folded)
+
+
+class TestExports:
+    def sampled(self):
+        prof = SamplingProfiler(hz=400)
+        prof.start()
+        busy_wait(0.12)
+        prof.stop()
+        return prof
+
+    def test_collapsed_roundtrip_and_schema(self, tmp_path):
+        prof = self.sampled()
+        path = prof.write_collapsed(str(tmp_path / "p.folded"))
+        lines = open(path, encoding="utf-8").read().splitlines()
+        assert validate_collapsed_stacks(lines) == []
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in lines)
+        assert total == prof.samples - prof.dropped_stacks
+
+    def test_speedscope_schema(self, tmp_path):
+        prof = self.sampled()
+        path = prof.write_speedscope(str(tmp_path / "p.speedscope.json"))
+        doc = json.load(open(path, encoding="utf-8"))
+        assert validate_speedscope(doc) == []
+        assert doc["profiles"][0]["endValue"] == sum(
+            prof.folded.values()
+        )
+
+    def test_render_mentions_rate_and_samples(self):
+        prof = self.sampled()
+        text = prof.render(3)
+        assert "samples" in text
+        assert "400" in text
+
+    def test_validators_flag_problems(self):
+        assert validate_collapsed_stacks([]) != []
+        assert validate_collapsed_stacks(["no-count-here"]) != []
+        assert validate_collapsed_stacks(["a;b notanumber"]) != []
+        assert validate_collapsed_stacks(["a;;b 3"]) != []
+        assert validate_collapsed_stacks(["a;b 3"]) == []
+        assert validate_speedscope({}) != []
+        good = SamplingProfiler(hz=10)
+        good.folded = {"a;b": 2}
+        assert validate_speedscope(good.speedscope_json()) == []
+        bad = good.speedscope_json()
+        bad["profiles"][0]["endValue"] = 999
+        assert validate_speedscope(bad) != []
+
+
+class TestResolveProfiler:
+    def test_coercions(self):
+        assert resolve_profiler(None) is None
+        assert resolve_profiler(False) is None
+        assert isinstance(resolve_profiler(True), SamplingProfiler)
+        assert resolve_profiler(50).hz == 50.0
+        prof = SamplingProfiler()
+        assert resolve_profiler(prof) is prof
+        with pytest.raises(TypeError):
+            resolve_profiler("yes")
+
+
+class TestSessionWiring:
+    def test_record_session_profile_rides_result(self):
+        program, _ = make_workload("mcb", 6)
+        result = RecordSession(
+            program, nprocs=6, network_seed=2, profile=500
+        ).run()
+        assert result.profile is not None
+        assert not result.profile.running
+        assert result.profile.samples > 0
+        assert validate_collapsed_stacks(result.profile.collapsed_stacks()) == []
+
+    def test_profiled_record_still_replays_exactly(self):
+        program, _ = make_workload("mcb", 6)
+        record = RecordSession(
+            program, nprocs=6, network_seed=2, profile=200
+        ).run()
+        replay = ReplaySession(
+            program, record.archive, network_seed=11, profile=200
+        ).run()
+        assert_replay_matches(record, replay)
+        assert replay.profile is not None and replay.profile.samples >= 0
+
+    def test_profile_off_by_default(self):
+        program, _ = make_workload("mcb", 4)
+        result = RecordSession(program, nprocs=4, network_seed=1).run()
+        assert result.profile is None

@@ -1,0 +1,188 @@
+"""Cross-process telemetry: worker metrics must survive the pool boundary.
+
+Process-pool encoding used to silently drop every instrument touched in a
+worker (the forked registry's increments died with the process). Workers
+now collect into a fresh local registry per batch and ship the snapshot
+delta back with the batch result; the producer folds it in at drain. The
+contract tested here: under ``parallel_backend="process"`` the merged
+registry reports the *same* ``encode.*`` event totals the serial path
+reports, plus per-worker telemetry (task latency histogram, utilization
+gauges, snapshot counter) that the serial path never has — and a session
+whose workers report nothing is an explicit *unknown*, never a silent
+zero (covered by the CLI stats test).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import build_tables
+from repro.core.events import MFKind, MFOutcome, ReceiveEvent
+from repro.core.formats import serialize_cdc_chunks
+from repro.obs import NULL_REGISTRY, TelemetryRegistry, use_registry
+from repro.replay import RecordSession, ReplaySession, assert_replay_matches
+from repro.replay.shard_encoder import ShardedChunkEncoder, merge_worker_snapshot
+from repro.replay.shm import global_segment_registry
+from repro.replay.supervisor import SupervisedEncoder
+from repro.workloads import make_workload
+
+
+@pytest.fixture(autouse=True)
+def no_segment_leaks():
+    yield
+    assert global_segment_registry().leaked() == 0
+
+
+def stream(n, callsites=("a", "b", "c")):
+    return [
+        MFOutcome(
+            callsites[i % len(callsites)],
+            MFKind.TESTSOME,
+            (ReceiveEvent(i % 7, i * 3 + (i % 7)),),
+        )
+        for i in range(n)
+    ]
+
+
+def tables_of(n=2_000, chunk_events=256):
+    return [
+        t
+        for ts in build_tables(stream(n), chunk_events=chunk_events).values()
+        for t in ts
+    ]
+
+
+def encode_counters(registry):
+    snap = registry.export_snapshot()
+    return {
+        k: v for k, v in snap["counters"].items() if k.startswith("encode.")
+    }
+
+
+class TestEncoderMerge:
+    def serial_reference(self, tables):
+        # per-table encode, no ceiling threading — the exact work a bare
+        # submit() loop hands to the pool
+        from repro.core.columnar import as_columnar_table, encode_columnar_chunk
+
+        registry = TelemetryRegistry("serial")
+        with use_registry(registry):
+            chunks = [
+                encode_columnar_chunk(as_columnar_table(t)) for t in tables
+            ]
+        return chunks, registry
+
+    @pytest.mark.parametrize("encoder_cls", [ShardedChunkEncoder, SupervisedEncoder])
+    def test_process_pool_matches_serial_counters(self, encoder_cls):
+        tables = tables_of()
+        ref_chunks, ref_registry = self.serial_reference(tables)
+
+        registry = TelemetryRegistry("pool")
+        with use_registry(registry):
+            enc = encoder_cls(workers=2)
+            for t in tables:
+                enc.submit(t)
+            chunks = enc.drain()
+            enc.close()
+
+        # byte-identical archive — telemetry shipping must not perturb it
+        assert serialize_cdc_chunks(chunks) == serialize_cdc_chunks(ref_chunks)
+        # the encode.* family merged from workers equals the serial totals
+        assert encode_counters(registry) == encode_counters(ref_registry)
+        assert registry.counter("encode.events").value == sum(
+            t.num_events for t in tables
+        )
+
+    @pytest.mark.parametrize("encoder_cls", [ShardedChunkEncoder, SupervisedEncoder])
+    def test_worker_telemetry_present(self, encoder_cls):
+        tables = tables_of()
+        registry = TelemetryRegistry("pool")
+        with use_registry(registry):
+            enc = encoder_cls(workers=2)
+            for t in tables:
+                enc.submit(t)
+            enc.drain()
+            util = enc.worker_utilization()
+            enc.close()
+
+        assert registry.counter("encoder.worker_snapshots").value == len(tables)
+        hist = registry.histogram("encoder.task_us")
+        assert hist.count == len(tables)
+        assert hist.total > 0
+        assert util and all(0.0 <= f <= 1.0 for f in util.values())
+        names = {i.name for i in registry.instruments()}
+        assert any(
+            n.startswith("encoder.worker") and n.endswith(".utilization")
+            for n in names
+        )
+
+    def test_disabled_registry_ships_no_snapshots(self):
+        tables = tables_of(600)
+        with use_registry(None):
+            enc = ShardedChunkEncoder(workers=2)
+            for t in tables:
+                enc.submit(t)
+            chunks = enc.drain()
+            enc.close()
+        assert len(chunks) == len(tables)
+
+    def test_merge_worker_snapshot_edge_cases(self):
+        registry = TelemetryRegistry("t")
+        assert merge_worker_snapshot(registry, None) == (0, 0)
+        assert merge_worker_snapshot(NULL_REGISTRY, {"worker": 1}) == (0, 0)
+        snap = {
+            "counters": {"encode.events": 5},
+            "gauges": {},
+            "histograms": {},
+            "worker": 42,
+            "busy_ns": 1_000,
+        }
+        assert merge_worker_snapshot(registry, snap) == (42, 1_000)
+        assert registry.counter("encode.events").value == 5
+        assert registry.counter("encoder.worker_snapshots").value == 1
+
+
+class TestSessionParity:
+    """Serial-vs-process telemetry parity through a whole RecordSession."""
+
+    def run_session(self, workers, backend="thread", supervised=True):
+        program, _ = make_workload("mcb", 6)
+        registry = TelemetryRegistry(f"s{workers}{backend}")
+        result = RecordSession(
+            program,
+            nprocs=6,
+            network_seed=3,
+            chunk_events=64,
+            parallel_workers=workers,
+            parallel_backend=backend,
+            supervised=supervised,
+            telemetry=registry,
+        ).run()
+        return result, registry
+
+    def test_process_backend_parity_with_serial(self):
+        serial, serial_reg = self.run_session(0)
+        pooled, pooled_reg = self.run_session(2, backend="process")
+
+        # same recording (telemetry shipping is invisible downstream)
+        program, _ = make_workload("mcb", 6)
+        replayed = ReplaySession(program, pooled.archive, network_seed=9).run()
+        assert_replay_matches(pooled, replayed)
+
+        # every encode.* counter the serial run has, the pooled run has,
+        # with equal event totals
+        assert encode_counters(pooled_reg) == encode_counters(serial_reg)
+
+        # the pooled run additionally carries worker telemetry the serial
+        # run cannot have
+        pooled_names = {i.name for i in pooled_reg.instruments()}
+        serial_names = {i.name for i in serial_reg.instruments()}
+        assert "encoder.worker_snapshots" in pooled_names
+        assert "encoder.task_us" in pooled_names
+        assert "encoder.worker_snapshots" not in serial_names
+        assert pooled_reg.counter("encoder.worker_snapshots").value > 0
+
+    def test_run_stats_render_includes_worker_metrics(self):
+        pooled, registry = self.run_session(2, backend="process")
+        assert pooled.run_stats is not None
+        assert registry.histogram("encoder.task_us").count > 0

@@ -574,3 +574,157 @@ class TestTraceTelemetry:
         out = capsys.readouterr().out
         assert "perfetto" in out.lower()
         assert "run stats [record]" in out
+
+
+class TestWorkerTelemetryRow:
+    """`repro stats --metrics`: worker telemetry is ok / n-a / unknown —
+    a parallel encode that reported nothing must never read as zero."""
+
+    def write_metrics(self, path, extra_lines):
+        import json
+
+        lines = [
+            {"type": "meta", "registry": "t", "enabled": True,
+             "dropped_events": 0},
+        ] + extra_lines
+        with open(path, "w", encoding="utf-8") as fh:
+            for obj in lines:
+                fh.write(json.dumps(obj) + "\n")
+        return path
+
+    def test_serial_encode_is_na(self, record_dir, tmp_path, capsys):
+        metrics = self.write_metrics(str(tmp_path / "m.jsonl"), [])
+        assert main(["stats", record_dir, "--metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "worker telemetry" in out
+        assert "n/a (serial encode)" in out
+
+    def test_pool_without_worker_reports_is_unknown(
+        self, record_dir, tmp_path, capsys
+    ):
+        metrics = self.write_metrics(
+            str(tmp_path / "m.jsonl"),
+            [{"type": "counter", "name": "encoder.tasks_submitted",
+              "value": 6}],
+        )
+        assert main(["stats", record_dir, "--metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "unknown ⚠" in out
+        assert "no worker telemetry" in out
+        assert "6 batch(es)" in out
+
+    def test_pool_with_worker_reports_is_ok(self, record_dir, tmp_path, capsys):
+        metrics = self.write_metrics(
+            str(tmp_path / "m.jsonl"),
+            [
+                {"type": "counter", "name": "encoder.tasks_submitted",
+                 "value": 6},
+                {"type": "counter", "name": "encoder.worker_snapshots",
+                 "value": 6},
+                {"type": "histogram", "name": "encoder.task_us", "count": 6,
+                 "total": 100, "buckets": {"4": 6}},
+                {"type": "gauge", "name": "encoder.worker0.utilization",
+                 "value": 0.4, "max": 0.4},
+            ],
+        )
+        assert main(["stats", record_dir, "--metrics", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "ok (1 worker gauge(s)" in out
+        assert "6 snapshot(s) merged" in out
+
+
+class TestTrendSparkline:
+    @pytest.fixture(scope="class")
+    def ledgered(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("spark")
+        ledger = str(base / "ledger.jsonl")
+        for seed in (1, 2, 3):
+            assert main(
+                [
+                    "record", "--workload", "synthetic", "--nprocs", "4",
+                    "--network-seed", str(seed), "--out", str(base / f"r{seed}"),
+                    "-p", "messages_per_rank=6", "-p", "fanout=1",
+                    "--ledger", ledger,
+                ]
+            ) == 0
+        return ledger
+
+    def test_wide_sparkline_rendering(self, ledgered, capsys):
+        assert main(
+            ["runs", "trend", "--ledger", ledgered, "--sparkline", "40"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "bytes_per_event (n=3):" in out
+        assert "min " in out and "max " in out and "latest " in out
+
+    def test_default_width_when_bare_flag(self, ledgered, capsys):
+        assert main(["runs", "trend", "--ledger", ledgered, "--sparkline"]) == 0
+        out = capsys.readouterr().out
+        assert "events_per_second (n=3):" in out
+
+    def test_compact_form_unchanged_without_flag(self, ledgered, capsys):
+        assert main(["runs", "trend", "--ledger", ledgered]) == 0
+        out = capsys.readouterr().out
+        assert "(n=3)" in out
+        assert "min " not in out
+
+
+class TestProfileSample:
+    def test_sample_mode_writes_valid_exports(self, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_collapsed_stacks, validate_speedscope
+
+        folded = str(tmp_path / "p.folded")
+        speedscope = str(tmp_path / "p.speedscope.json")
+        assert main(
+            [
+                "profile", "--workload", "mcb", "--nprocs", "6",
+                "--sample", "--hz", "400", "--top", "5",
+                "--folded-out", folded, "--speedscope-out", speedscope,
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sampling profile" in out
+        assert validate_collapsed_stacks(
+            open(folded, encoding="utf-8").read().splitlines()
+        ) == []
+        with open(speedscope, encoding="utf-8") as fh:
+            assert validate_speedscope(json.load(fh)) == []
+
+    def test_sample_replay_mode(self, capsys):
+        assert main(
+            [
+                "profile", "--workload", "synthetic", "--nprocs", "4",
+                "--mode", "replay", "--sample", "--hz", "400",
+                "-p", "messages_per_rank=20", "-p", "fanout=2",
+            ]
+        ) == 0
+        assert "replay of synthetic" in capsys.readouterr().out
+
+
+class TestDash:
+    def test_dash_builds_valid_html(self, tmp_path, capsys):
+        from repro.obs import validate_dashboard_html
+
+        ledger = str(tmp_path / "ledger.jsonl")
+        archive = str(tmp_path / "rec")
+        assert main(
+            [
+                "record", "--workload", "synthetic", "--nprocs", "4",
+                "--network-seed", "2", "--out", archive,
+                "-p", "messages_per_rank=6", "-p", "fanout=1",
+                "--ledger", ledger,
+            ]
+        ) == 0
+        out_html = str(tmp_path / "dash.html")
+        assert main(
+            [
+                "dash", "--out", out_html, "--ledger", ledger,
+                "--bench-dir", ".", "--archive", archive,
+            ]
+        ) == 0
+        assert "self-contained" in capsys.readouterr().out
+        text = open(out_html, encoding="utf-8").read()
+        assert validate_dashboard_html(text) == []
+        assert "synthetic" in text
