@@ -23,6 +23,15 @@ Typical use::
     write_metrics_jsonl(reg, "metrics.jsonl")
 """
 
+from repro.obs.agg import (
+    AggregatorServer,
+    FleetState,
+    TelemetryAggregator,
+    TelemetryShipper,
+    query_aggregator,
+    render_fleet,
+    snapshot_delta,
+)
 from repro.obs.bench import (
     bench_histories,
     load_bench_files,
@@ -86,7 +95,9 @@ from repro.obs.profiler import (
 from repro.obs.monitor import (
     MetricsStreamWriter,
     MonitorState,
+    drain_chunk_objects,
     render_monitor,
+    sample_object,
     sparkline,
 )
 from repro.obs.spans import NOOP_SPAN, Span, event, span
@@ -101,7 +112,9 @@ from repro.obs.watchdog import (
 )
 
 __all__ = [
+    "AggregatorServer",
     "COUNTER_MAX",
+    "FleetState",
     "HISTOGRAM_BUCKETS",
     "Counter",
     "DivergenceCandidate",
@@ -123,7 +136,9 @@ __all__ = [
     "SamplingProfiler",
     "Span",
     "StallReport",
+    "TelemetryAggregator",
     "TelemetryRegistry",
+    "TelemetryShipper",
     "TraceEvent",
     "TrendFlag",
     "WatchdogConfig",
@@ -132,6 +147,7 @@ __all__ = [
     "build_run_stats",
     "build_stall_report",
     "chrome_trace",
+    "drain_chunk_objects",
     "entry_from_result",
     "env_enabled",
     "event",
@@ -140,13 +156,17 @@ __all__ = [
     "load_bench_files",
     "merged_timeline",
     "metrics_lines",
+    "query_aggregator",
+    "render_fleet",
     "render_monitor",
     "render_run",
     "render_runs",
     "render_trend",
     "resolve_profiler",
     "resolve_registry",
+    "sample_object",
     "set_registry",
+    "snapshot_delta",
     "span",
     "sparkline",
     "telemetry_enabled",

@@ -51,6 +51,7 @@ __all__ = [
 REQUIRED_SECTIONS = (
     "dash-ledger",
     "dash-bench",
+    "dash-fleet",
     "dash-health",
     "dash-flame",
     "dash-runs",
@@ -494,6 +495,61 @@ def _bench_section(docs: Mapping[str, Mapping[str, Any]]) -> str:
     return f'<div class="grid">{"".join(cards)}{table}</div>'
 
 
+def _fleet_section(
+    docs: Mapping[str, Mapping[str, Any]],
+    fleet_alerts: Mapping[str, Any] | Sequence[Any] | None,
+) -> str:
+    """Fleet telemetry: BENCH_fleet history charts + last alerts snapshot."""
+    parts = []
+    doc = docs.get("BENCH_fleet")
+    if doc:
+        cards = []
+        for name, values in bench_histories({"BENCH_fleet": doc}).items():
+            labels = [str(i + 1) for i in range(len(values))]
+            cards.append(
+                _chart_card(
+                    name,
+                    _line_chart(name.split(".", 1)[-1], values, labels),
+                    meta=f"{len(values)} recorded run(s)",
+                )
+            )
+        parts.append(f'<div class="grid">{"".join(cards)}</div>')
+    else:
+        parts.append('<p class="okline">no BENCH_fleet.json found</p>')
+    if fleet_alerts is None:
+        parts.append(
+            '<p class="okline">no fleet-alerts snapshot supplied '
+            "(repro fleet alerts --json &gt; alerts.json)</p>"
+        )
+        return "".join(parts)
+    alerts = (
+        fleet_alerts.get("alerts", [])
+        if isinstance(fleet_alerts, Mapping)
+        else list(fleet_alerts)
+    )
+    if not alerts:
+        parts.append('<p class="okline">fleet alerts: none fired</p>')
+        return "".join(parts)
+    rows = "".join(
+        f"<tr><td>{html.escape(str(a.get('severity', '?')))}</td>"
+        f"<td>{html.escape(str(a.get('rule', '')))}</td>"
+        f"<td>{html.escape(str(a.get('run_id', '')))}</td>"
+        f"<td>{html.escape(str(a.get('signal', '')))}</td>"
+        f'<td class="num">{html.escape(str(a.get("observed", "")))}</td>'
+        f"<td>{html.escape(str(a.get('help', '')))}</td></tr>"
+        for a in alerts
+        if isinstance(a, Mapping)
+    )
+    parts.append(
+        '<p class="flagline"><span class="mark">⚠</span> '
+        f"{len(alerts)} fleet alert(s) fired</p>"
+        "<table><thead><tr><th>severity</th><th>rule</th><th>run</th>"
+        '<th>signal</th><th class="num">observed</th><th>help</th>'
+        f"</tr></thead><tbody>{rows}</tbody></table>"
+    )
+    return "".join(parts)
+
+
 def _health_section(health: Mapping[str, Any] | None) -> str:
     if not health:
         return (
@@ -559,6 +615,7 @@ def build_dashboard(
     bench_dir: str = ".",
     folded: str | Sequence[str] | None = None,
     health: Mapping[str, Any] | Any = None,
+    fleet_alerts: Mapping[str, Any] | Sequence[Any] | str | None = None,
     title: str = "repro perf dashboard",
     generated_at: str = "",
     z_threshold: float = 3.0,
@@ -568,7 +625,8 @@ def build_dashboard(
     ``ledger`` is a :class:`RunLedger`, a JSONL path, or entries;
     ``folded`` a collapsed-stack file path or lines; ``health`` an
     :class:`~repro.replay.supervisor.EncoderHealthReport` or its
-    ``to_json()`` dict.
+    ``to_json()`` dict; ``fleet_alerts`` a ``repro fleet alerts --json``
+    snapshot (the dict, the bare alert list, or a path to either).
     """
     if isinstance(ledger, str):
         ledger = RunLedger(ledger)
@@ -592,6 +650,13 @@ def build_dashboard(
 
     if health is not None and hasattr(health, "to_json"):
         health = health.to_json()
+
+    if isinstance(fleet_alerts, str):
+        try:
+            with open(fleet_alerts, "r", encoding="utf-8") as fh:
+                fleet_alerts = json.load(fh)
+        except (OSError, ValueError):
+            fleet_alerts = None
 
     hero_value = "—"
     hero_label = "no runs ledgered yet"
@@ -629,6 +694,9 @@ def build_dashboard(
 
 <h2 id="dash-bench">Benchmark history</h2>
 {_bench_section(docs)}
+
+<h2 id="dash-fleet">Fleet telemetry</h2>
+{_fleet_section(docs, fleet_alerts)}
 
 <h2 id="dash-health">Encoder health</h2>
 {_health_section(health)}

@@ -35,7 +35,9 @@ __all__ = [
     "MetricsStreamWriter",
     "MonitorState",
     "RunningStats",
+    "drain_chunk_objects",
     "render_monitor",
+    "sample_object",
     "sparkline",
 ]
 
@@ -62,6 +64,55 @@ ANOMALY_Z = 3.0
 ANOMALY_MIN_CHUNKS = 8
 
 _SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sample_object(
+    registry: TelemetryRegistry | NullRegistry, t: float
+) -> dict[str, Any]:
+    """One ``sample`` stream object: progress counters + occupancy gauges.
+
+    Shared by :class:`MetricsStreamWriter` (JSONL line) and the telemetry
+    shipper (``delta`` frame payload) so local and remote monitoring parse
+    one shape.
+    """
+    counters = registry.counters()
+    gauges = registry.gauges()
+    return {
+        "type": "sample",
+        "t": round(t, 6),
+        "counters": {k: counters[k] for k in SAMPLE_COUNTERS if k in counters},
+        "gauges": {k: gauges[k] for k in SAMPLE_GAUGES if k in gauges},
+    }
+
+
+def drain_chunk_objects(
+    registry: TelemetryRegistry | NullRegistry, cursor: int, t: float
+) -> tuple[list[dict[str, Any]], int]:
+    """Fresh ``record.chunk`` trace markers as ``chunk`` stream objects.
+
+    The trace buffer is append-only and the cursor only moves forward, so
+    reading a prefix from another thread is safe without locking the
+    registry. Returns the new objects and the advanced cursor.
+    """
+    events = registry.events
+    end = len(events)
+    objects: list[dict[str, Any]] = []
+    for i in range(cursor, end):
+        ev = events[i]
+        if ev.name != "record.chunk":
+            continue
+        attrs = ev.attrs
+        objects.append(
+            {
+                "type": "chunk",
+                "t": round(t, 6),
+                "rank": attrs.get("rank", -1),
+                "callsite": attrs.get("callsite", "?"),
+                "events": attrs.get("events", 0),
+                "stored_bytes": attrs.get("stored_bytes", 0),
+            }
+        )
+    return objects, end
 
 
 class MetricsStreamWriter:
@@ -148,47 +199,13 @@ class MetricsStreamWriter:
         with self._lock:
             if self._fh is None:
                 return
-            self._drain_chunk_events()
-            counters = self.registry.counters()
-            gauges = self.registry.gauges()
-            self._write(
-                {
-                    "type": "sample",
-                    "t": round(self.clock() - self._t0, 6),
-                    "counters": {
-                        k: counters[k] for k in SAMPLE_COUNTERS if k in counters
-                    },
-                    "gauges": {
-                        k: gauges[k] for k in SAMPLE_GAUGES if k in gauges
-                    },
-                }
+            t = self.clock() - self._t0
+            chunks, self._event_cursor = drain_chunk_objects(
+                self.registry, self._event_cursor, t
             )
-
-    def _drain_chunk_events(self) -> None:
-        """Convert fresh ``record.chunk`` markers into ``chunk`` lines.
-
-        The trace buffer is append-only and the cursor only moves forward,
-        so reading a prefix from this thread is safe without locking the
-        registry.
-        """
-        events = self.registry.events
-        end = len(events)
-        for i in range(self._event_cursor, end):
-            ev = events[i]
-            if ev.name != "record.chunk":
-                continue
-            attrs = ev.attrs
-            self._write(
-                {
-                    "type": "chunk",
-                    "t": round(self.clock() - self._t0, 6),
-                    "rank": attrs.get("rank", -1),
-                    "callsite": attrs.get("callsite", "?"),
-                    "events": attrs.get("events", 0),
-                    "stored_bytes": attrs.get("stored_bytes", 0),
-                }
-            )
-        self._event_cursor = end
+            for obj in chunks:
+                self._write(obj)
+            self._write(sample_object(self.registry, t))
 
     def _write(self, obj: Mapping[str, Any]) -> None:
         assert self._fh is not None

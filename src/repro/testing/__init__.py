@@ -1,5 +1,17 @@
-"""Test support: fault injection for the durable storage layer."""
+"""Test support: fault injection for storage and telemetry shipping."""
 
-from repro.testing.faults import FaultInjector, FaultPlan, FaultyFile, InjectedCrash
+from repro.testing.faults import (
+    ChaosTelemetryServer,
+    FaultInjector,
+    FaultPlan,
+    FaultyFile,
+    InjectedCrash,
+)
 
-__all__ = ["FaultInjector", "FaultPlan", "FaultyFile", "InjectedCrash"]
+__all__ = [
+    "ChaosTelemetryServer",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyFile",
+    "InjectedCrash",
+]

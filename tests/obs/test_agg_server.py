@@ -1,0 +1,297 @@
+"""TelemetryAggregator: delta-merge parity, queries, and server loss.
+
+The acceptance bar for the fleet pipeline is *exactly-once* accounting:
+the server's merged view of a run must equal the sender's final local
+snapshot — including across a mid-run reconnect, where retransmitted
+frames arrive twice and must be deduplicated by sequence number.  The
+converse failure mode (the *server* dies, taking its state with it) must
+cost the run nothing: the archive it writes is byte-identical to an
+unshipped run's.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.obs import TelemetryRegistry
+from repro.obs.agg import (
+    AggregatorServer,
+    FleetState,
+    TelemetryShipper,
+    query_aggregator,
+)
+from repro.replay import RecordSession, ReplaySession
+from repro.workloads import make_workload
+
+# ``format.*`` counters move locally after the shipper detaches (the
+# result re-serialises chunks to size the archive), so parity is pinned
+# on everything the engine recorded while shipping was live.
+PARITY_PREFIXES = ("sim.", "record.", "replay.", "encode.", "queue.")
+
+
+def _scoped(snapshot):
+    """Counters and histograms under the parity prefixes."""
+    return {
+        "counters": {
+            k: v
+            for k, v in (snapshot.get("counters") or {}).items()
+            if k.startswith(PARITY_PREFIXES)
+        },
+        "histograms": {
+            k: v
+            for k, v in (snapshot.get("histograms") or {}).items()
+            if k.startswith(PARITY_PREFIXES)
+        },
+    }
+
+
+def _wait(predicate, timeout=5.0, step=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(step)
+    return predicate()
+
+
+class TestDeltaMergeParity:
+    def test_merged_totals_equal_local_snapshot(self):
+        reg = TelemetryRegistry()
+        with AggregatorServer() as srv:
+            with TelemetryShipper(
+                f"tcp://{srv.host}:{srv.port}", reg,
+                run_id="parity", mode="record", interval=0.01,
+            ):
+                for i in range(1, 6):
+                    reg.counter("sim.events").add(i)
+                    reg.counter("record.flushes").add(1)
+                    reg.histogram("encode.batch_us").observe(i * 11)
+                    reg.gauge("queue.depth").set(float(i))
+                    time.sleep(0.02)
+            detail = srv.state.run_detail("parity")
+            assert detail is not None
+            assert _scoped(detail["instruments"]) == _scoped(
+                reg.export_snapshot()
+            )
+            gauges = detail["instruments"]["gauges"]
+            local = reg.export_snapshot()["gauges"]
+            assert gauges["queue.depth"]["max"] == local["queue.depth"]["max"]
+            assert (
+                gauges["queue.depth"]["updates"]
+                == local["queue.depth"]["updates"]
+            )
+            summary = detail["summary"]
+            assert summary["ended"] and not summary["connected"]
+            assert summary["events"] == reg.counter("sim.events").value
+
+    def test_reconnect_retransmit_dedup_keeps_parity(self):
+        """Kill the server mid-run; a replacement on the same port with
+        the same state sees retransmits, dedups by seq, stays exact."""
+        reg = TelemetryRegistry()
+        state = FleetState()
+        first = AggregatorServer(state=state).start()
+        port = first.port
+        ship = TelemetryShipper(
+            f"tcp://127.0.0.1:{port}", reg,
+            run_id="flappy", mode="record", interval=0.01,
+        ).start()
+        try:
+            reg.counter("sim.events").add(100)
+            assert _wait(lambda: ship.stats.acked_seq >= 1)
+            first.stop()  # connections die; shipper buffers + retries
+            reg.counter("sim.events").add(23)
+            second = AggregatorServer(port=port, state=state).start()
+            try:
+                reg.counter("sim.events").add(7)
+                assert _wait(lambda: ship.stats.reconnects >= 1)
+            finally:
+                ship.close()  # bounded drain against the second server
+                second.stop()
+        finally:
+            ship.close()
+        assert ship.stats.delivered
+        run = state.runs["flappy"]
+        assert run.registry.counter("sim.events").value == 130
+        assert reg.counter("sim.events").value == 130
+        assert _scoped(state.run_detail("flappy")["instruments"]) == _scoped(
+            reg.export_snapshot()
+        )
+
+
+class TestQueries:
+    @pytest.fixture()
+    def fleet(self):
+        reg = TelemetryRegistry()
+        with AggregatorServer() as srv:
+            with TelemetryShipper(
+                f"tcp://{srv.host}:{srv.port}", reg,
+                run_id="q1", mode="record", nprocs=4, interval=0.01,
+            ):
+                reg.counter("sim.events").add(9)
+                time.sleep(0.05)
+            yield srv
+
+    def test_fleet_query(self, fleet):
+        data = query_aggregator(fleet.host, fleet.port, "fleet")
+        assert data["runs_total"] == 1
+        (run,) = data["runs"]
+        assert run["run_id"] == "q1" and run["ended"]
+        assert data["totals"]["sim.events"] == 9
+
+    def test_alerts_query(self, fleet):
+        data = query_aggregator(fleet.host, fleet.port, "alerts")
+        assert data["alerts"] == []
+        assert len(data["rules"]) > 0  # default rule set is armed
+
+    def test_run_query(self, fleet):
+        data = query_aggregator(fleet.host, fleet.port, "run", run_id="q1")
+        assert data["summary"]["run_id"] == "q1"
+        assert data["instruments"]["counters"]["sim.events"] == 9
+
+    def test_server_query(self, fleet):
+        data = query_aggregator(fleet.host, fleet.port, "server")
+        assert data["proto"] >= 1
+        assert data["runs"] == 1
+        assert data["frames_received"] > 0
+
+    def test_unknown_run_reports_missing(self, fleet):
+        data = query_aggregator(fleet.host, fleet.port, "run", run_id="nope")
+        assert data == {"missing": True}
+
+    def test_unreachable_server(self):
+        import socket
+
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        dead = sock.getsockname()[1]
+        sock.close()
+        with pytest.raises((ConnectionError, OSError)):
+            query_aggregator("127.0.0.1", dead, "fleet", timeout=0.5)
+
+
+class TestSessionParity:
+    """The full path: a real record+replay pair shipping while running."""
+
+    NPROCS = 4
+
+    def _program(self):
+        prog, _ = make_workload(
+            "synthetic", self.NPROCS, messages_per_rank="8", fanout="2"
+        )
+        return prog
+
+    def test_record_and_replay_ship_exact_totals(self):
+        with AggregatorServer() as srv:
+            sink = f"tcp://{srv.host}:{srv.port}"
+            recorded = RecordSession(
+                self._program(), nprocs=self.NPROCS, network_seed=3,
+                chunk_events=16, telemetry_sink=sink, sink_interval=0.01,
+                run_id="sess-rec",
+            ).run()
+            replayed = ReplaySession(
+                self._program(), recorded.archive, network_seed=5,
+                telemetry_sink=sink, sink_interval=0.01, run_id="sess-rep",
+            ).run()
+            assert replayed.outcomes == recorded.outcomes
+
+            for result, run_id in (
+                (recorded, "sess-rec"), (replayed, "sess-rep"),
+            ):
+                assert result.shipping is not None
+                assert result.shipping.delivered, result.shipping.to_json()
+                detail = srv.state.run_detail(run_id)
+                assert _scoped(detail["instruments"]) == _scoped(
+                    result.registry.export_snapshot()
+                )
+
+            fleet = srv.state.fleet_summary()
+            assert fleet["runs_total"] == 2
+            assert fleet["runs_healthy"] == 2
+            local_events = (
+                recorded.registry.counter("sim.events").value
+                + replayed.registry.counter("sim.events").value
+            )
+            assert fleet["totals"]["sim.events"] == local_events
+
+    def test_sink_off_ships_nothing(self):
+        result = RecordSession(
+            self._program(), nprocs=self.NPROCS, network_seed=3,
+            chunk_events=16,
+        ).run()
+        assert result.shipping is None
+
+
+class TestServerLossChaos:
+    """SIGKILL the fleet server mid-record: the run must not notice."""
+
+    NPROCS = 4
+
+    def _record_to(self, store_dir, sink=None):
+        prog, _ = make_workload(
+            "synthetic", self.NPROCS, messages_per_rank="40", fanout="2"
+        )
+        return RecordSession(
+            prog, nprocs=self.NPROCS, network_seed=11, chunk_events=32,
+            store_dir=store_dir, telemetry_sink=sink, sink_interval=0.005,
+            run_id="chaos-rec",
+        ).run()
+
+    @staticmethod
+    def _tree_bytes(root):
+        out = {}
+        for dirpath, _, files in os.walk(root):
+            for name in files:
+                path = os.path.join(dirpath, name)
+                with open(path, "rb") as fh:
+                    out[os.path.relpath(path, root)] = fh.read()
+        return out
+
+    def test_archive_byte_identical_after_server_sigkill(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (
+                os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+                env.get("PYTHONPATH"),
+            ) if p
+        )
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve-telemetry", "--port", "0"],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline()
+            assert "serving telemetry on" in line
+            addr = line.strip().rsplit(" ", 1)[-1]
+
+            killer = threading.Timer(
+                0.15, lambda: os.kill(proc.pid, signal.SIGKILL)
+            )
+            killer.start()
+            try:
+                shipped = self._record_to(
+                    str(tmp_path / "shipped"), sink=f"tcp://{addr}"
+                )
+            finally:
+                killer.cancel()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait()
+            proc.stdout.close()
+
+        bare = self._record_to(str(tmp_path / "bare"))
+        assert shipped.outcomes == bare.outcomes
+        shipped_tree = self._tree_bytes(tmp_path / "shipped")
+        bare_tree = self._tree_bytes(tmp_path / "bare")
+        assert shipped_tree.keys() == bare_tree.keys()
+        for name in sorted(bare_tree):
+            assert shipped_tree[name] == bare_tree[name], (
+                f"{name} differs between shipped and unshipped recordings"
+            )

@@ -1,0 +1,260 @@
+"""TelemetryShipper: delta math and fire-and-forget fault tolerance.
+
+The shipper's contract is asymmetric: the fleet server may miss data
+(and ``stats.delivered`` says so), but the recording engine must never
+block, crash, or change behaviour because the sink is down, slow, or
+flapping.  ``ChaosTelemetryServer`` injects each failure mode.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import TelemetryRegistry
+from repro.obs.agg import TelemetryShipper, parse_sink, snapshot_delta
+from repro.testing import ChaosTelemetryServer
+
+
+def _wait(predicate, timeout=5.0, step=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(step)
+    return predicate()
+
+
+def _dead_port() -> int:
+    """A loopback port with nothing listening on it."""
+    import socket
+
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+def _deduped_counter_sum(server, run_id, name):
+    """Fold the server's delta stream exactly once per seq."""
+    seen, total = set(), 0
+    for frame in server.frames_of(run_id):
+        if frame["seq"] in seen:
+            continue
+        seen.add(frame["seq"])
+        total += int(frame["delta"].get("counters", {}).get(name, 0))
+    return total
+
+
+class TestParseSink:
+    def test_tcp_url(self):
+        assert parse_sink("tcp://fleet.example:9170") == (
+            "fleet.example", 9170
+        )
+
+    def test_bare_host_port(self):
+        assert parse_sink("127.0.0.1:9170") == ("127.0.0.1", 9170)
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["udp://h:1", "host", "host:", "host:nope", "host:0", "host:70000"],
+    )
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            parse_sink(bad)
+
+
+class TestSnapshotDelta:
+    def _registry_pair(self):
+        return TelemetryRegistry(), TelemetryRegistry()
+
+    def test_counter_delta_is_difference(self):
+        reg = TelemetryRegistry()
+        reg.counter("a").add(3)
+        prev = reg.export_snapshot()
+        reg.counter("a").add(4)
+        reg.counter("b").add(1)
+        delta = snapshot_delta(prev, reg.export_snapshot())
+        assert delta["counters"] == {"a": 4, "b": 1}
+
+    def test_unchanged_instruments_omitted(self):
+        reg = TelemetryRegistry()
+        reg.counter("a").add(3)
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(10)
+        snap = reg.export_snapshot()
+        assert snapshot_delta(snap, snap) == {}
+
+    def test_gauge_delta_carries_current_value_and_update_count(self):
+        reg = TelemetryRegistry()
+        reg.gauge("g").set(1.0)
+        prev = reg.export_snapshot()
+        reg.gauge("g").set(9.0)
+        reg.gauge("g").set(2.0)
+        delta = snapshot_delta(prev, reg.export_snapshot())
+        assert delta["gauges"]["g"] == {"value": 2.0, "max": 9.0, "updates": 2}
+
+    def test_histogram_delta_buckets_add_extrema_current(self):
+        reg = TelemetryRegistry()
+        reg.histogram("h").observe(10)
+        prev = reg.export_snapshot()
+        reg.histogram("h").observe(10)
+        reg.histogram("h").observe(5000)
+        delta = snapshot_delta(prev, reg.export_snapshot())
+        h = delta["histograms"]["h"]
+        assert h["count"] == 2
+        assert h["total"] == 5010
+        assert h["min"] == 10 and h["max"] == 5000  # raw extrema, current
+        assert sum(h["buckets"].values()) == 2
+
+    def test_delta_stream_merge_reconstructs_final_snapshot(self):
+        sender, receiver = self._registry_pair()
+        prev: dict = {}
+        for round_no in range(1, 5):
+            sender.counter("sim.events").add(round_no)
+            sender.gauge("depth").set(float(round_no))
+            sender.histogram("lat_us").observe(round_no * 7)
+            curr = sender.export_snapshot()
+            receiver.merge(snapshot_delta(prev, curr))
+            prev = curr
+        got = receiver.export_snapshot()
+        want = sender.export_snapshot()
+        assert got["counters"] == want["counters"]
+        assert got["histograms"] == want["histograms"]
+        # gauge last-value has no cross-process ordering; the merge
+        # contract is exact max + update count
+        assert got["gauges"]["depth"]["max"] == want["gauges"]["depth"]["max"]
+        assert (
+            got["gauges"]["depth"]["updates"]
+            == want["gauges"]["depth"]["updates"]
+        )
+
+
+class TestShipperFaults:
+    def test_server_down_at_connect_run_unaffected(self):
+        reg = TelemetryRegistry()
+        ship = TelemetryShipper(
+            f"tcp://127.0.0.1:{_dead_port()}", reg, run_id="down",
+            interval=0.02, buffer_frames=4,
+            connect_timeout=0.2, drain_timeout=0.2,
+        ).start()
+        for _ in range(20):
+            reg.counter("sim.events").add(1)
+            time.sleep(0.01)
+        t0 = time.monotonic()
+        ship.close()
+        assert time.monotonic() - t0 < 3.0  # bounded drain, no hang
+        stats = ship.stats
+        assert stats.connect_failures > 0
+        assert stats.acked_seq == 0
+        assert not stats.delivered
+        # the run itself kept all its telemetry
+        assert reg.counter("sim.events").value == 20
+
+    def test_close_is_idempotent_and_reports_unacked(self):
+        reg = TelemetryRegistry()
+        ship = TelemetryShipper(
+            f"tcp://127.0.0.1:{_dead_port()}", reg, run_id="down2",
+            interval=0.02, buffer_frames=4,
+            connect_timeout=0.2, drain_timeout=0.2,
+        ).start()
+        time.sleep(0.1)
+        ship.close()
+        first = ship.stats.to_json()
+        ship.close()
+        assert ship.stats.to_json() == first
+        assert ship.stats.unacked_at_close > 0
+
+    def test_mid_stream_disconnect_reconnects_with_bumped_incarnation(self):
+        reg = TelemetryRegistry()
+        with ChaosTelemetryServer() as srv:
+            ship = TelemetryShipper(
+                f"tcp://{srv.host}:{srv.port}", reg,
+                run_id="flap", mode="record", interval=0.02,
+            ).start()
+            reg.counter("sim.events").add(5)
+            assert _wait(lambda: ship.stats.acked_seq >= 1)
+            srv.drop_connections()
+            reg.counter("sim.events").add(7)
+            assert _wait(lambda: ship.stats.reconnects >= 1)
+            ship.close()  # bounded drain: every frame acked before return
+            assert srv.incarnations("flap") == [1, 2]
+            assert ship.stats.reconnects == 1
+            assert ship.stats.delivered
+
+    def test_reconnect_never_double_counts_deltas(self):
+        reg = TelemetryRegistry()
+        with ChaosTelemetryServer() as srv:
+            ship = TelemetryShipper(
+                f"tcp://{srv.host}:{srv.port}", reg,
+                run_id="once", mode="record", interval=0.01,
+            ).start()
+            for burst in range(5):
+                reg.counter("sim.events").add(burst + 1)
+                time.sleep(0.03)
+                if burst == 2:
+                    srv.drop_connections()
+            assert _wait(lambda: ship.stats.reconnects >= 1)
+            ship.close()  # bounded drain: every frame acked before return
+            # retransmits may appear twice on the wire; folded once per
+            # seq the stream must equal the sender's local total exactly
+            assert ship.stats.delivered
+            assert _deduped_counter_sum(srv, "once", "sim.events") == 15
+            assert reg.counter("sim.events").value == 15
+
+    def test_slow_consumer_drops_frames_never_blocks_engine(self):
+        reg = TelemetryRegistry()
+        with ChaosTelemetryServer() as srv:
+            srv.pause_reading()
+            ship = TelemetryShipper(
+                f"tcp://{srv.host}:{srv.port}", reg,
+                run_id="slow", mode="record", interval=0.005,
+                buffer_frames=4, send_timeout=0.05, drain_timeout=0.2,
+            ).start()
+            t0 = time.monotonic()
+            for _ in range(200):
+                reg.counter("sim.events").add(1)  # the engine-side hot path
+            engine_elapsed = time.monotonic() - t0
+            assert engine_elapsed < 1.0  # instrument writes never wait on IO
+            assert _wait(lambda: ship.stats.frames_dropped > 0)
+            srv.resume_reading()
+            ship.close()
+            stats = ship.stats
+            assert stats.frames_dropped > 0
+            assert not stats.delivered
+            assert reg.counter("sim.events").value == 200
+
+    def test_end_frame_carries_shipper_accounting(self):
+        reg = TelemetryRegistry()
+        with ChaosTelemetryServer() as srv:
+            with TelemetryShipper(
+                f"tcp://{srv.host}:{srv.port}", reg,
+                run_id="bye", mode="record", interval=0.02,
+            ):
+                reg.counter("sim.events").add(2)
+                time.sleep(0.06)
+            assert _wait(lambda: len(srv.frames_of("bye", kind="end")) == 1)
+            (end,) = srv.frames_of("bye", kind="end")
+            assert end["frames_sent"] >= 1
+            assert end["frames_dropped"] == 0
+
+    def test_auto_run_id_when_blank(self):
+        reg = TelemetryRegistry()
+        with ChaosTelemetryServer() as srv:
+            with TelemetryShipper(
+                f"tcp://{srv.host}:{srv.port}", reg, mode="replay",
+                interval=0.02,
+            ) as ship:
+                time.sleep(0.05)
+            assert ship.stats.run_id.startswith("replay-")
+            assert _wait(lambda: len(srv.hellos) == 1)
+            assert srv.hellos[0]["run_id"] == ship.stats.run_id
+
+    def test_ctor_validation(self):
+        reg = TelemetryRegistry()
+        with pytest.raises(ValueError):
+            TelemetryShipper("tcp://h:1", reg, interval=0.0)
+        with pytest.raises(ValueError):
+            TelemetryShipper("tcp://h:1", reg, buffer_frames=1)

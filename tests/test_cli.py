@@ -728,3 +728,160 @@ class TestDash:
         text = open(out_html, encoding="utf-8").read()
         assert validate_dashboard_html(text) == []
         assert "synthetic" in text
+
+
+class TestStatsStrict:
+    """`stats --metrics --strict` turns unknown worker telemetry into a
+    nonzero exit — the CI hook for silently-dark parallel encodes."""
+
+    def _metrics(self, path, extra):
+        import json
+
+        lines = [
+            {"type": "meta", "registry": "t", "enabled": True,
+             "dropped_events": 0},
+        ] + extra
+        with open(path, "w", encoding="utf-8") as fh:
+            for obj in lines:
+                fh.write(json.dumps(obj) + "\n")
+        return str(path)
+
+    def test_unknown_worker_telemetry_fails_strict(
+        self, record_dir, tmp_path, capsys
+    ):
+        metrics = self._metrics(
+            tmp_path / "m.jsonl",
+            [{"type": "counter", "name": "encoder.tasks_submitted",
+              "value": 6}],
+        )
+        code = main(["stats", record_dir, "--metrics", metrics, "--strict"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "unknown ⚠" in captured.out  # the table still renders
+        assert "stats --strict:" in captured.err
+        assert "never reported" in captured.err
+
+    def test_ok_worker_telemetry_passes_strict(
+        self, record_dir, tmp_path, capsys
+    ):
+        metrics = self._metrics(
+            tmp_path / "m.jsonl",
+            [
+                {"type": "counter", "name": "encoder.tasks_submitted",
+                 "value": 6},
+                {"type": "counter", "name": "encoder.worker_snapshots",
+                 "value": 6},
+            ],
+        )
+        assert main(
+            ["stats", record_dir, "--metrics", metrics, "--strict"]
+        ) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_serial_encode_passes_strict(self, record_dir, tmp_path):
+        metrics = self._metrics(tmp_path / "m.jsonl", [])
+        assert main(
+            ["stats", record_dir, "--metrics", metrics, "--strict"]
+        ) == 0
+
+
+class TestFleetCLI:
+    """serve/ship/query wired through the CLI verbs end to end."""
+
+    @pytest.fixture(scope="class")
+    def fleet(self, tmp_path_factory):
+        from repro.obs.agg import AggregatorServer
+
+        base = tmp_path_factory.mktemp("fleet-cli")
+        with AggregatorServer() as server:
+            code = main(
+                [
+                    "record", "--workload", "synthetic", "--nprocs", "4",
+                    "--network-seed", "3", "--out", str(base / "rec"),
+                    "-p", "messages_per_rank=6",
+                    "--telemetry-sink", server.address,
+                    "--run-id", "cli-rec",
+                ]
+            )
+            assert code == 0
+            yield server
+
+    def test_record_prints_shipping_line(self, fleet, capsys):
+        # the fixture already recorded; re-record to capture its output
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            assert main(
+                [
+                    "record", "--workload", "synthetic", "--nprocs", "4",
+                    "--out", f"{tmp}/rec", "-p", "messages_per_rank=4",
+                    "--telemetry-sink", fleet.address,
+                    "--run-id", "cli-rec2",
+                ]
+            ) == 0
+        out = capsys.readouterr().out
+        assert "telemetry: shipped" in out
+        assert "as cli-rec2 — delivered" in out
+
+    def test_fleet_status_json(self, fleet, capsys):
+        import json
+
+        assert main(
+            ["fleet", "status", "--remote", fleet.address, "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        ids = {r["run_id"] for r in data["runs"]}
+        assert "cli-rec" in ids
+        assert all(r["healthy"] for r in data["runs"])
+
+    def test_fleet_status_table(self, fleet, capsys):
+        assert main(["fleet", "status", "--remote", fleet.address]) == 0
+        out = capsys.readouterr().out
+        assert "fleet:" in out
+        assert "cli-rec" in out
+
+    def test_fleet_alerts_quiet(self, fleet, capsys):
+        assert main(["fleet", "alerts", "--remote", fleet.address]) == 0
+        assert "no alerts" in capsys.readouterr().out
+
+    def test_monitor_remote_fleet_table(self, fleet, capsys):
+        assert main(["monitor", "--remote", fleet.address]) == 0
+        assert "fleet:" in capsys.readouterr().out
+
+    def test_monitor_remote_single_run(self, fleet, capsys):
+        assert main(
+            ["monitor", "--remote", fleet.address, "--run", "cli-rec"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "monitor:" in out
+        assert "sim events" in out
+
+    def test_monitor_remote_unknown_run(self, fleet):
+        with pytest.raises(SystemExit, match="no run"):
+            main(["monitor", "--remote", fleet.address, "--run", "nope"])
+
+    def test_monitor_source_is_exactly_one(self):
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["monitor"])
+
+    def test_monitor_run_needs_remote(self, tmp_path):
+        stream = tmp_path / "m.jsonl"
+        stream.write_text("")
+        with pytest.raises(SystemExit, match="--run needs --remote"):
+            main(["monitor", str(stream), "--run", "r1"])
+
+    def test_fleet_unreachable_is_clean_error(self):
+        import socket
+
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.bind(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        with pytest.raises(SystemExit, match="cannot reach"):
+            main(["fleet", "status", "--remote", f"127.0.0.1:{port}"])
+
+    def test_serve_telemetry_rejects_bad_rules(self, tmp_path):
+        rules = tmp_path / "rules.json"
+        rules.write_text('[{"rule": "x"}]')
+        with pytest.raises(SystemExit, match="bad alert rules"):
+            main(["serve-telemetry", "--rules", str(rules)])
