@@ -1,0 +1,192 @@
+"""Critical-path analysis at paper scale: explain a 1M-event archive.
+
+The ISSUE-level claim behind ``repro explain`` is that blame is cheap:
+a 256-rank MCB archive with ≥1M recorded events rehydrates (one
+read-only replay with a columnar flow recorder attached) and analyzes
+(vectorized numpy passes — matching, wait-state decomposition, the
+path walk) in ≤30s wall on one box.  The analysis proper must be a
+rounding error next to the rehydrating replay.
+
+Scalars land in ``BENCH_critical_path.json`` at the repo root
+(schema-validated before writing); the explain wall time carries a
+Welford z-gate in log space against its recorded history, direction-
+aware for a lower-is-better metric.  Set ``REPRO_CRITICAL_SMOKE=1``
+to shrink the run for CI smoke passes.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+import warnings
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import analyze_critical_path, rehydrate_run, render_table
+from repro.obs import ColumnarFlowRecorder, validate_bench_json
+from repro.replay import RecordSession
+from repro.workloads import mcb
+
+BENCH_CRITICAL_JSON = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_critical_path.json",
+)
+
+SMOKE = os.environ.get("REPRO_CRITICAL_SMOKE", "") not in ("", "0")
+#: the paper-scale case: 256 ranks, ≥1M archived events.
+RANKS = 16 if SMOKE else 256
+PARTICLES = 20 if SMOKE else 150
+MIN_EVENTS = 0 if SMOKE else 1_000_000
+EXPLAIN_BUDGET_S = 30.0
+
+GUARD_Z = 3.0
+GUARD_MIN_RUNS = 3
+GUARD_HISTORY = 20
+
+
+@pytest.fixture(scope="session")
+def critical_results():
+    """Collects explain perf numbers; written to BENCH_critical_path.json."""
+    results: dict = {}
+    yield results
+    if results:
+        results["generated_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        assert validate_bench_json(results, "BENCH_critical_path") == []
+        with open(BENCH_CRITICAL_JSON, "w", encoding="utf-8") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def _previous_bench() -> dict:
+    try:
+        with open(BENCH_CRITICAL_JSON, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return {}
+
+
+def _welford_gate_lower(results, previous, metric, current):
+    """History + log-space z-gate for a lower-is-better wall time."""
+    from repro.obs.monitor import RunningStats
+
+    history = [
+        float(v)
+        for v in previous.get(f"{metric}_history", [])
+        if isinstance(v, (int, float)) and v > 0
+    ]
+    if not history and isinstance(previous.get(metric), (int, float)):
+        history = [float(previous[metric])]
+    results[f"{metric}_history"] = (history + [current])[-GUARD_HISTORY:]
+    if not history:
+        return  # first run seeds the history; nothing to gate against
+    stats = RunningStats()
+    for v in history:
+        stats.push(math.log10(v))
+    if stats.count >= GUARD_MIN_RUNS:
+        z = stats.zscore(math.log10(current))
+        if z > GUARD_Z:
+            pytest.fail(
+                f"{metric} {current:,.2f} sits {z:.1f}σ above the recorded "
+                f"log-mean {10 ** stats.mean:,.2f} over {stats.count} runs "
+                f"(gate: {GUARD_Z}σ in log space, lower is better)"
+            )
+    if current > history[-1] * 1.25:
+        warnings.warn(
+            f"{metric} up {100 * (current / history[-1] - 1):.0f}% vs last "
+            f"recorded run ({current:,.2f} vs {history[-1]:,.2f})",
+            stacklevel=2,
+        )
+
+
+def test_explain_1m_event_archive_under_budget(critical_results, tmp_path):
+    """Record a 256-rank MCB archive, then time the full explain path.
+
+    The timed region is exactly what ``repro explain <archive>`` does:
+    one rehydrating replay with a :class:`ColumnarFlowRecorder` attached
+    (read-only — the archive bytes are never touched) followed by
+    :func:`analyze_critical_path` over the columnar identifier arrays.
+    """
+    cfg = mcb.MCBConfig(nprocs=RANKS, particles_per_rank=PARTICLES, seed=7)
+    program = mcb.build_program(cfg)
+    archive = str(tmp_path / "archive")
+    record = RecordSession(
+        program,
+        nprocs=RANKS,
+        network_seed=1,
+        keep_outcomes=False,
+        store_dir=archive,
+        meta={
+            "workload": "mcb",
+            "nprocs": RANKS,
+            "params": {
+                "particles_per_rank": str(PARTICLES),
+                "seed": str(cfg.seed),
+            },
+        },
+    ).run()
+    archive_events = record.stats.total_events
+    assert archive_events >= MIN_EVENTS, (
+        f"archive holds {archive_events:,} events; the paper-scale case "
+        f"needs ≥{MIN_EVENTS:,}"
+    )
+
+    t0 = time.perf_counter()
+    flow = ColumnarFlowRecorder("bench")
+    rehydrate_run(archive, network_seed=0, flow=flow, keep_outcomes=False)
+    t_rehydrate = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    result = analyze_critical_path(flow, label="bench")
+    t_analyze = time.perf_counter() - t0
+    wall = t_rehydrate + t_analyze
+
+    # the rehydrated flow must be healthy before its numbers mean anything
+    assert result.match_rate == 1.0
+    assert result.nranks == RANKS
+    assert 0.0 < result.critical_path_share <= 1.0
+
+    flow_events = result.sends + result.receives
+    critical_results["ranks"] = RANKS
+    critical_results["archive_events"] = archive_events
+    critical_results["flow_events"] = flow_events
+    critical_results["rehydrate_s"] = round(t_rehydrate, 3)
+    critical_results["analyze_s"] = round(t_analyze, 3)
+    critical_results["explain_wall_s"] = round(wall, 3)
+    critical_results["archive_events_per_sec"] = round(archive_events / wall)
+    critical_results["critical_path_share"] = round(
+        result.critical_path_share, 4
+    )
+    emit(
+        "critical_path_explain",
+        render_table(
+            f"Explain wall time — MCB archive at {RANKS} ranks",
+            ["metric", "value"],
+            [
+                ("archive events", f"{archive_events:,}"),
+                ("flow events (sends+receives)", f"{flow_events:,}"),
+                ("rehydrating replay (s)", f"{t_rehydrate:.2f}"),
+                ("vectorized analysis (s)", f"{t_analyze:.2f}"),
+                ("explain wall (s)", f"{wall:.2f}"),
+                ("archive events/s", f"{archive_events / wall:,.0f}"),
+                ("critical-path share", f"{result.critical_path_share:.3f}"),
+            ],
+            note=f"budget {EXPLAIN_BUDGET_S:.0f}s for rehydrate+analyze; "
+            "the analysis itself must stay a rounding error",
+        ),
+    )
+    if not SMOKE:
+        assert wall <= EXPLAIN_BUDGET_S, (
+            f"explain took {wall:.1f}s on a {archive_events:,}-event "
+            f"archive, over the {EXPLAIN_BUDGET_S:.0f}s budget"
+        )
+    # the vectorized core must not be the bottleneck at any scale
+    assert t_analyze <= max(0.1 * wall, 1.0), (
+        f"analysis pass took {t_analyze:.2f}s of a {wall:.2f}s explain — "
+        "the numpy passes are supposed to be a rounding error"
+    )
+    _welford_gate_lower(
+        critical_results, _previous_bench(), "explain_wall_s", wall
+    )

@@ -5,6 +5,12 @@ from repro.analysis.clock_study import (
     ClockStudyResult,
     run_clock_study,
 )
+from repro.analysis.critical_path import (
+    CriticalPathResult,
+    analyze_critical_path,
+    validate_explain_json,
+    write_explain_json,
+)
 from repro.analysis.divergence import (
     CallsiteProfileDiff,
     Delivery,
@@ -13,6 +19,7 @@ from repro.analysis.divergence import (
     diff_runs,
     divergence_timeline,
     kendall_tau_distance,
+    rehydrate_run,
     run_outcomes,
     validate_divergence_json,
     write_divergence_json,
@@ -52,6 +59,7 @@ __all__ = [
     "ClockSeries",
     "ClockStudyController",
     "ClockStudyResult",
+    "CriticalPathResult",
     "DEFAULT_PROCS_PER_NODE",
     "Delivery",
     "DivergenceReport",
@@ -61,6 +69,7 @@ __all__ = [
     "RankDivergence",
     "SeedSweep",
     "SizeBreakdown",
+    "analyze_critical_path",
     "archive_breakdown",
     "budget_comparison",
     "chunk_breakdown",
@@ -74,12 +83,15 @@ __all__ = [
     "kendall_tau_distance",
     "permutation_histogram",
     "profile_callsites",
+    "rehydrate_run",
     "render_histogram",
     "render_table",
     "run_clock_study",
     "run_outcomes",
     "sweep_seeds",
     "validate_divergence_json",
+    "validate_explain_json",
     "write_divergence_json",
     "write_divergence_timeline",
+    "write_explain_json",
 ]

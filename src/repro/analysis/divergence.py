@@ -48,6 +48,7 @@ __all__ = [
     "diff_runs",
     "divergence_timeline",
     "kendall_tau_distance",
+    "rehydrate_run",
     "run_outcomes",
     "validate_divergence_json",
     "write_divergence_json",
@@ -378,35 +379,34 @@ def workload_meta(source: Any) -> dict[str, Any] | None:
     return None
 
 
-def run_outcomes(
+def rehydrate_run(
     source: Any,
     network_seed: int = 0,
     workload_fallback: Mapping[str, Any] | None = None,
-) -> dict[int, list[MFOutcome]]:
-    """Per-rank outcome streams from any run-shaped source.
+    flow: Any = None,
+    keep_outcomes: bool = True,
+):
+    """Deterministically replay an archive-shaped source; returns the
+    :class:`~repro.replay.session.RunResult`.
 
-    Accepts a :class:`~repro.replay.session.RunResult` (or anything with
-    an ``outcomes`` mapping), a raw ``{rank: [MFOutcome, ...]}`` mapping,
-    a :class:`~repro.replay.chunk_store.RecordArchive`, or an archive
-    directory path. Archives store no identifier columns, so they are
-    rehydrated by a deterministic replay of the workload named in their
-    manifest — Theorem 2 makes the regenerated ``(sender, clock)`` streams
-    byte-equal to the recorded ones, for any ``network_seed``.
+    ``source`` is a :class:`~repro.replay.chunk_store.RecordArchive` or an
+    archive directory path. Archives store no identifier columns or
+    timestamps, so the run is regenerated by replaying the workload named
+    in the manifest — Theorem 2 makes the regenerated ``(sender, clock)``
+    streams byte-equal to the recorded ones, for any ``network_seed``, and
+    the simulator's virtual clock makes the regenerated timings exact too.
+    ``flow=`` attaches a flow recorder to the replay, which is how the
+    critical-path analysis recovers a causal DAG with edge weights from a
+    bare archive. Callers that only consume the flow recorder should pass
+    ``keep_outcomes=False`` — materializing per-event outcome objects for
+    a million-event archive costs more than the replay itself.
 
     A directory whose recording died mid-flight (truncated frames, no
     committed manifest) falls back to salvage: the longest valid chunk
     prefix per rank is recovered and replayed in ``mode="salvage"``, so
-    ``repro diff`` localizes the truncation point instead of refusing the
-    archive outright.
+    callers localize the truncation point instead of refusing the archive
+    outright.
     """
-    outcomes = getattr(source, "outcomes", None)
-    if outcomes is not None and not isinstance(source, Mapping):
-        source = outcomes
-    if isinstance(source, Mapping) and (
-        not source or isinstance(next(iter(source.values())), (list, tuple))
-    ):
-        return {int(r): list(stream) for r, stream in source.items()}
-    # archive path / RecordArchive: replay to regenerate the streams
     from repro.errors import RecordFormatError
     from repro.replay.chunk_store import RecordArchive
     from repro.replay.durable_store import load_archive
@@ -438,11 +438,44 @@ def run_outcomes(
                 "RunResult or re-record with the CLI"
             )
     program, _ = make_workload(
-        str(meta["workload"]), int(meta["nprocs"]), **dict(meta.get("params", {}))
+        str(meta["workload"]),
+        int(meta.get("nprocs", source.nprocs)),
+        **dict(meta.get("params", {})),
     )
-    replayed = ReplaySession(
-        program, source, network_seed=network_seed, mode=replay_mode
+    return ReplaySession(
+        program,
+        source,
+        network_seed=network_seed,
+        mode=replay_mode,
+        flow=flow,
+        keep_outcomes=keep_outcomes,
     ).run()
+
+
+def run_outcomes(
+    source: Any,
+    network_seed: int = 0,
+    workload_fallback: Mapping[str, Any] | None = None,
+) -> dict[int, list[MFOutcome]]:
+    """Per-rank outcome streams from any run-shaped source.
+
+    Accepts a :class:`~repro.replay.session.RunResult` (or anything with
+    an ``outcomes`` mapping), a raw ``{rank: [MFOutcome, ...]}`` mapping,
+    a :class:`~repro.replay.chunk_store.RecordArchive`, or an archive
+    directory path. The archive flavors go through :func:`rehydrate_run`
+    (deterministic replay, salvage fallback for crash-truncated
+    directories).
+    """
+    outcomes = getattr(source, "outcomes", None)
+    if outcomes is not None and not isinstance(source, Mapping):
+        source = outcomes
+    if isinstance(source, Mapping) and (
+        not source or isinstance(next(iter(source.values())), (list, tuple))
+    ):
+        return {int(r): list(stream) for r, stream in source.items()}
+    replayed = rehydrate_run(
+        source, network_seed=network_seed, workload_fallback=workload_fallback
+    )
     return {r: list(s) for r, s in replayed.outcomes.items()}
 
 

@@ -595,8 +595,12 @@ def cmd_timeline(args: argparse.Namespace) -> int:
         ).run()
         recorders.append(rep_flow)
     trace = write_timeline(recorders, args.out)
+    unmatched = []
     for rec in recorders:
-        print(rec.match_stats().describe())
+        stats = rec.match_stats()
+        print(stats.describe())
+        if stats.match_rate < 1.0:
+            unmatched.append(stats)
     print(
         f"timeline: {args.out} ({len(trace['traceEvents']):,} events, "
         f"{trace['otherData']['flows']} flow arrows) — load in "
@@ -609,6 +613,14 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     if problems:
         for problem in problems[:10]:
             print(f"  ⚠ {problem}")
+        return 1
+    if args.strict and unmatched:
+        for stats in unmatched:
+            print(
+                f"  ⚠ strict: {stats.label} correlated only "
+                f"{100 * stats.match_rate:.1f}% of receives "
+                f"({stats.matched}/{stats.receives})"
+            )
         return 1
     return 0
 
@@ -843,6 +855,103 @@ def cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """Critical-path & wait-state blame report for a recorded run.
+
+    The archive (or ledger run id) is rehydrated by one deterministic
+    replay with a columnar flow recorder attached — read-only, the
+    archive bytes are never touched — then the causal DAG is analyzed
+    with vectorized numpy passes (see :mod:`repro.analysis.critical_path`).
+    """
+    from repro.analysis.critical_path import (
+        analyze_critical_path,
+        write_explain_json,
+    )
+    from repro.analysis.divergence import rehydrate_run, workload_meta
+    from repro.obs import ColumnarFlowRecorder, validate_chrome_trace, write_timeline
+
+    spec = args.source
+    label = spec
+    source = spec
+    if args.ledger is not None and not os.path.isdir(spec):
+        from repro.obs.ledger import RunLedger
+
+        try:
+            entry = RunLedger(args.ledger).find(spec)
+        except KeyError:
+            raise SystemExit(
+                f"{spec!r} is neither an archive directory nor a run id "
+                f"in {args.ledger}"
+            )
+        if entry.archive is None:
+            raise SystemExit(
+                f"ledger run {spec} recorded no archive path; explain it "
+                "by archive directory instead"
+            )
+        source = entry.archive
+        label = f"{spec} ({entry.workload} seed {entry.network_seed})"
+    elif not os.path.isdir(spec):
+        raise SystemExit(
+            f"cannot resolve {spec!r}: not an archive directory or ledger "
+            "run id (pass --ledger FILE to use run ids)"
+        )
+    started = time.perf_counter()
+    flow = ColumnarFlowRecorder(label)
+    rehydrate_run(
+        source, network_seed=args.network_seed, flow=flow, keep_outcomes=False
+    )
+    result = analyze_critical_path(flow, label=label)
+    wall = time.perf_counter() - started
+    print(result.render(top=args.top))
+    print(
+        f"\nanalyzed {result.sends + result.receives:,} events "
+        f"across {result.nranks} ranks in {wall:.2f}s (read-only replay)"
+    )
+    if args.json:
+        write_explain_json(result, args.json)
+        print(f"explain report: {args.json}")
+    if args.timeline:
+        trace = write_timeline(
+            [flow], args.timeline, critical_path=result.timeline_slices()
+        )
+        print(
+            f"explain timeline: {args.timeline} "
+            f"({len(trace['traceEvents']):,} events, "
+            f"{trace['otherData']['critical_path_edges']} critical-path "
+            "edges) — load in https://ui.perfetto.dev"
+        )
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems[:10]:
+                print(f"  ⚠ {problem}")
+            return 1
+    if args.ledger is not None:
+        from repro.obs.ledger import LedgerEntry, RunLedger
+
+        meta = workload_meta(source) or {}
+        entry = RunLedger(args.ledger).append(
+            LedgerEntry(
+                run_id="",
+                mode="explain",
+                workload=str(meta.get("workload", "?")),
+                nprocs=result.nranks,
+                network_seed=args.network_seed,
+                events=result.receives,
+                chunks=0,
+                raw_bytes=0,
+                cdc_bytes=0,
+                stored_bytes=0,
+                permutation_pct=0.0,
+                wall_seconds=wall,
+                archive=source,
+                critical_path_share=result.critical_path_share,
+                max_slack_us=result.max_slack_us,
+            )
+        )
+        print(f"ledgered as {entry.run_id} (mode=explain)")
+    return 0
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
     """Browse the run ledger: history, one run's detail, or trends."""
     from repro.obs.ledger import (
@@ -890,6 +999,7 @@ def cmd_dash(args: argparse.Namespace) -> int:
         folded=args.folded,
         health=health,
         fleet_alerts=args.fleet_alerts,
+        explain=args.explain,
         title=args.title,
         generated_at=time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         z_threshold=args.z,
@@ -1223,6 +1333,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="FILE",
         help="additionally dump run telemetry as metrics JSONL",
     )
+    p_timeline.add_argument(
+        "--strict", action="store_true",
+        help="exit nonzero when any run correlates < 100%% of its receives "
+             "(FlowMatchStats.match_rate < 1.0)",
+    )
     p_timeline.set_defaults(func=cmd_timeline)
 
     p_monitor = sub.add_parser(
@@ -1358,6 +1473,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_diff.set_defaults(func=cmd_diff)
 
+    p_explain = sub.add_parser(
+        "explain",
+        help="critical-path & wait-state blame report for a recorded run "
+             "(which rank made it slow, and who was it waiting on?)",
+    )
+    p_explain.add_argument(
+        "source", help="archive directory, or a ledger run id with --ledger"
+    )
+    p_explain.add_argument(
+        "--ledger", metavar="FILE",
+        help="resolve run-id operands against this JSONL run ledger and "
+             "append a mode=explain entry carrying critical_path_share / "
+             "max_slack_us for `repro runs trend`",
+    )
+    p_explain.add_argument(
+        "--network-seed", type=int, default=0, metavar="N",
+        help="network seed of the rehydrating replay (any seed yields the "
+             "same delivery order; timings are the replay's virtual clock)",
+    )
+    p_explain.add_argument(
+        "--top", type=int, default=10, metavar="K",
+        help="rows shown in the rank/callsite blame tables",
+    )
+    p_explain.add_argument(
+        "--json", metavar="FILE",
+        help="write the schema-validated explain report as JSON",
+    )
+    p_explain.add_argument(
+        "--timeline", metavar="FILE",
+        help="write a Perfetto trace with the critical path highlighted "
+             "as a distinct track",
+    )
+    p_explain.set_defaults(func=cmd_explain)
+
     p_runs = sub.add_parser(
         "runs", help="browse the persistent run ledger (list / show / trend)"
     )
@@ -1422,6 +1571,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fleet-alerts", metavar="FILE",
         help="fleet-alerts snapshot JSON (from repro fleet alerts --json) "
              "for the Fleet telemetry section",
+    )
+    p_dash.add_argument(
+        "--explain", metavar="FILE",
+        help="explain report JSON (from repro explain --json) for the "
+             "Critical path section (blame bars + slack histogram)",
     )
     p_dash.add_argument("--title", default="repro perf dashboard")
     p_dash.add_argument(

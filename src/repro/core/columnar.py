@@ -46,6 +46,7 @@ from repro.obs import get_registry, span
 __all__ = [
     "ColumnarTable",
     "ColumnarTableBuilder",
+    "GrowColumn",
     "as_columnar_table",
     "build_columnar_tables",
     "columnar_epoch_line",
@@ -55,6 +56,68 @@ __all__ = [
 
 #: starting capacity of a builder's backing arrays (doubles as needed).
 _INITIAL_CAPACITY = 256
+
+
+class GrowColumn:
+    """One append-only numpy column with grow-by-doubling backing storage.
+
+    The storage discipline :class:`ColumnarTableBuilder` uses for its
+    identifier columns, packaged as a standalone primitive for other
+    columnar capture paths (the causal flow recorder appends five of these
+    per run instead of one dataclass per event). Appends are amortized
+    O(1); :attr:`values` is a zero-copy view of the filled prefix, so a
+    consumer can run vectorized passes without a materialization step.
+    """
+
+    __slots__ = ("_data", "_count")
+
+    def __init__(self, dtype=np.int64, capacity: int = _INITIAL_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self._data = np.empty(capacity, dtype=dtype)
+        self._count = 0
+
+    def append(self, value) -> None:
+        n = self._count
+        data = self._data
+        if n == data.shape[0]:
+            data = self._grow(n + 1)
+        data[n] = value
+        self._count = n + 1
+
+    def extend(self, values: Sequence) -> None:
+        n = self._count
+        end = n + len(values)
+        data = self._data
+        if end > data.shape[0]:
+            data = self._grow(end)
+        data[n:end] = values
+        self._count = end
+
+    def _grow(self, need: int) -> np.ndarray:
+        capacity = self._data.shape[0]
+        while capacity < need:
+            capacity *= 2
+        new = np.empty(capacity, dtype=self._data.dtype)
+        new[: self._count] = self._data[: self._count]
+        self._data = new
+        return new
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def values(self) -> np.ndarray:
+        """Zero-copy view of the filled prefix (invalidated by growth)."""
+        return self._data[: self._count]
+
+    def array(self) -> np.ndarray:
+        """Detached copy of the filled prefix (safe across further appends)."""
+        return self._data[: self._count].copy()
+
+    def clear(self) -> None:
+        """Reset to empty; backing capacity is kept (steady-state reuse)."""
+        self._count = 0
 
 
 class ColumnarTable:

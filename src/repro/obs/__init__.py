@@ -38,6 +38,7 @@ from repro.obs.bench import (
     validate_bench_json,
 )
 from repro.obs.causal import (
+    ColumnarFlowRecorder,
     FlowMatchStats,
     FlowRecorder,
     FlowReceive,
@@ -114,6 +115,7 @@ from repro.obs.watchdog import (
 __all__ = [
     "AggregatorServer",
     "COUNTER_MAX",
+    "ColumnarFlowRecorder",
     "FleetState",
     "HISTOGRAM_BUCKETS",
     "Counter",

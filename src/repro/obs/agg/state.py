@@ -106,6 +106,15 @@ DEFAULT_ALERT_RULES: tuple[dict[str, Any], ...] = (
         "severity": "warning",
         "help": "a counter or histogram clipped at its ceiling",
     },
+    {
+        "name": "critical-path-concentration",
+        "signal": "critical_path_share",
+        "op": ">",
+        "value": 0.75,
+        "severity": "warning",
+        "help": "one rank holds most of the run's critical path "
+        "(repro explain publishes explain.critical_path_share)",
+    },
 )
 
 
@@ -334,6 +343,11 @@ class RunState:
             "frames_dropped": int(self.end_info.get("frames_dropped") or 0),
             "reconnects": int(self.end_info.get("reconnects") or 0),
             "saturated": len(self.registry.saturated_instruments()),
+            # published by repro explain (analysis.critical_path) when the
+            # run's telemetry registry is enabled; 0.0 = not analyzed.
+            "critical_path_share": float(
+                self.registry.gauges().get("explain.critical_path_share", 0.0)
+            ),
             "healthy": not (
                 self.stalled(now, stall_after)
                 or self.lost(now, stall_after)

@@ -25,9 +25,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
+
+from repro.obs.registry import get_registry
 
 __all__ = [
+    "ColumnarFlowRecorder",
     "FlowMatchStats",
     "FlowRecorder",
     "FlowReceive",
@@ -106,11 +109,26 @@ class FlowRecorder:
         self.label = label
         self.sends: list[FlowSend] = []
         self.receives: list[FlowReceive] = []
+        #: sends whose (clock, sender) identity was already taken — each one
+        #: would silently corrupt the flow graph, so they are counted (and
+        #: telemetered as ``flow.duplicate_send``) instead of winning the
+        #: index. Always 0 for a healthy engine: Definition 4 makes the
+        #: piggybacked clocks strictly increasing per sender.
+        self.duplicate_sends = 0
+        self._send_keys: set[tuple[int, int]] = set()
 
     # -- engine hooks --------------------------------------------------------
 
     def on_send(self, src: int, dst: int, tag: int, clock: int, t: float) -> None:
-        self.sends.append(FlowSend(src, dst, tag, clock, t))
+        send = FlowSend(src, dst, tag, clock, t)
+        if send.key in self._send_keys:
+            self.duplicate_sends += 1
+            registry = get_registry()
+            if registry.enabled:
+                registry.counter("flow.duplicate_send").add()
+        else:
+            self._send_keys.add(send.key)
+        self.sends.append(send)
 
     def on_delivery(
         self,
@@ -134,8 +152,18 @@ class FlowRecorder:
     # -- correlation ---------------------------------------------------------
 
     def send_index(self) -> dict[tuple[int, int], FlowSend]:
-        """Map ``(clock, sender)`` identity -> send record."""
-        return {s.key: s for s in self.sends}
+        """Map ``(clock, sender)`` identity -> send record.
+
+        On a duplicate key the *first* send wins: channels are FIFO, so the
+        first post under an identity is the message a matched receive can
+        actually name. Duplicates are visible in :attr:`duplicate_sends`
+        and the ``flow.duplicate_send`` counter rather than silently
+        replacing earlier records.
+        """
+        index: dict[tuple[int, int], FlowSend] = {}
+        for s in self.sends:
+            index.setdefault(s.key, s)
+        return index
 
     def match_stats(self) -> FlowMatchStats:
         index = self.send_index()
@@ -148,6 +176,151 @@ class FlowRecorder:
         )
 
 
+class ColumnarFlowRecorder:
+    """Flow capture as columnar arrays — no per-event Python objects.
+
+    Same duck-typed hook surface as :class:`FlowRecorder` (attach via the
+    sessions' ``flow=`` parameter), but every endpoint lands in
+    grow-by-doubling int64/float64 columns
+    (:class:`~repro.core.columnar.GrowColumn`) instead of a dataclass per
+    event. This is what makes ``repro explain`` viable at paper scale: a
+    256-rank, million-event run is five numpy appends per endpoint during
+    capture, and the critical-path analysis then runs vectorized passes
+    over the views — the same columnar discipline the CDC encoder uses for
+    its identifier columns.
+
+    Callsite strings are interned to dense ids (``callsites[id]`` /
+    ``kinds[id]``), so per-callsite attribution is a ``bincount``, not a
+    dict of strings.
+    """
+
+    def __init__(self, label: str = "run") -> None:
+        # lazy: repro.core imports repro.obs for its span instrumentation,
+        # so the obs package must not import core back at module level.
+        from repro.core.columnar import GrowColumn
+
+        self.label = label
+        self.send_src = GrowColumn()
+        self.send_dst = GrowColumn()
+        self.send_tag = GrowColumn()
+        self.send_clock = GrowColumn()
+        self.send_t = GrowColumn(dtype=float)
+        self.recv_rank = GrowColumn()
+        self.recv_callsite = GrowColumn()
+        self.recv_sender = GrowColumn()
+        self.recv_clock = GrowColumn()
+        self.recv_t = GrowColumn(dtype=float)
+        self.callsites: list[str] = []
+        self.kinds: list[str] = []
+        self._callsite_ids: dict[tuple[str, str], int] = {}
+
+    # -- engine hooks --------------------------------------------------------
+
+    def on_send(self, src: int, dst: int, tag: int, clock: int, t: float) -> None:
+        self.send_src.append(src)
+        self.send_dst.append(dst)
+        self.send_tag.append(tag)
+        self.send_clock.append(clock)
+        self.send_t.append(t)
+
+    def on_delivery(
+        self,
+        rank: int,
+        callsite: str,
+        kind: str,
+        t: float,
+        events: Sequence[Any],
+    ) -> None:
+        cs = self._callsite_ids.get((callsite, kind))
+        if cs is None:
+            cs = self._callsite_ids[(callsite, kind)] = len(self.callsites)
+            self.callsites.append(callsite)
+            self.kinds.append(kind)
+        recv_rank = self.recv_rank
+        recv_callsite = self.recv_callsite
+        recv_sender = self.recv_sender
+        recv_clock = self.recv_clock
+        recv_t = self.recv_t
+        for ev in events:
+            recv_rank.append(rank)
+            recv_callsite.append(cs)
+            recv_sender.append(ev.rank)
+            recv_clock.append(ev.clock)
+            recv_t.append(t)
+
+    # -- correlation ---------------------------------------------------------
+
+    @property
+    def num_sends(self) -> int:
+        return len(self.send_src)
+
+    @property
+    def num_receives(self) -> int:
+        return len(self.recv_rank)
+
+    def send_keys(self):
+        """Combined ``clock * K + src`` identity keys (K covers every rank)."""
+        import numpy as np
+
+        k = self._key_base()
+        return self.send_clock.values * k + self.send_src.values, np.int64(k)
+
+    def _key_base(self) -> int:
+        src = self.send_src.values
+        sender = self.recv_sender.values
+        hi = 0
+        if src.shape[0]:
+            hi = max(hi, int(src.max()))
+        if sender.shape[0]:
+            hi = max(hi, int(sender.max()))
+        return hi + 2
+
+    def duplicate_send_count(self) -> int:
+        """Sends whose (clock, sender) identity repeats (should be 0)."""
+        import numpy as np
+
+        keys, _ = self.send_keys()
+        if keys.shape[0] < 2:
+            return 0
+        return int(keys.shape[0] - np.unique(keys).shape[0])
+
+    def match_stats(self) -> FlowMatchStats:
+        import numpy as np
+
+        keys, k = self.send_keys()
+        recv_keys = self.recv_clock.values * k + self.recv_sender.values
+        matched = int(np.isin(recv_keys, keys).sum()) if recv_keys.shape[0] else 0
+        return FlowMatchStats(
+            label=self.label,
+            sends=self.num_sends,
+            receives=self.num_receives,
+            matched=matched,
+        )
+
+    def to_flow_recorder(self) -> FlowRecorder:
+        """Materialize object records (timeline export of human-scale runs)."""
+        rec = FlowRecorder(self.label)
+        for src, dst, tag, clock, t in zip(
+            self.send_src.values.tolist(),
+            self.send_dst.values.tolist(),
+            self.send_tag.values.tolist(),
+            self.send_clock.values.tolist(),
+            self.send_t.values.tolist(),
+        ):
+            rec.on_send(src, dst, tag, clock, t)
+        rec.receives = [
+            FlowReceive(rank, self.callsites[cs], self.kinds[cs], sender, clock, t)
+            for rank, cs, sender, clock, t in zip(
+                self.recv_rank.values.tolist(),
+                self.recv_callsite.values.tolist(),
+                self.recv_sender.values.tolist(),
+                self.recv_clock.values.tolist(),
+                self.recv_t.values.tolist(),
+            )
+        ]
+        return rec
+
+
 def _us(t: float) -> float:
     return round(t * 1e6, 3)
 
@@ -155,6 +328,7 @@ def _us(t: float) -> float:
 def merged_timeline(
     recorders: Sequence[FlowRecorder],
     flow_category: str = "flow",
+    critical_path: Sequence[Mapping[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """Join one or more runs into a single causally-linked Chrome trace.
 
@@ -165,10 +339,22 @@ def merged_timeline(
     "s"`` at the send, ``ph: "f"`` with ``bp: "e"`` at the delivery).
     Flow ids are unique across the whole merged trace, so record and
     replay arrows never alias.
+
+    ``critical_path`` highlights a run's longest weighted causal chain as
+    a distinct track: a dedicated "critical path" process group whose
+    threads are the ranks the path visits, one slice per path edge. Each
+    entry is plain data so the exporter stays import-free of the analysis
+    layer: ``{"rank", "t0_us", "t1_us", "kind"}`` plus optional
+    ``"callsite"`` / ``"from_rank"`` args (see
+    :meth:`repro.analysis.critical_path.CriticalPathResult.timeline_slices`).
     """
     events: list[dict[str, Any]] = []
     metadata: list[dict[str, Any]] = []
     next_flow_id = 1
+    recorders = [
+        rec.to_flow_recorder() if isinstance(rec, ColumnarFlowRecorder) else rec
+        for rec in recorders
+    ]
     for run_idx, rec in enumerate(recorders):
         pid = run_idx + 1
         metadata.append(
@@ -259,11 +445,54 @@ def merged_timeline(
                         "args": {"clock": r.clock, "sender": r.sender},
                     }
                 )
+    path_edges = 0
+    if critical_path:
+        pid = len(recorders) + 1
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": "critical path"},
+            }
+        )
+        for rank in sorted({int(seg["rank"]) for seg in critical_path}):
+            metadata.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": rank,
+                    "args": {"name": f"rank {rank}"},
+                }
+            )
+        for seg in critical_path:
+            t0 = float(seg["t0_us"])
+            t1 = float(seg["t1_us"])
+            args = {
+                k: seg[k]
+                for k in ("kind", "callsite", "from_rank")
+                if seg.get(k) is not None
+            }
+            events.append(
+                {
+                    "name": str(seg["kind"]),
+                    "cat": "critical_path",
+                    "ph": "X",
+                    "ts": round(t0, 3),
+                    "dur": round(max(t1 - t0, 0.0), 3),
+                    "pid": pid,
+                    "tid": int(seg["rank"]),
+                    "args": args,
+                }
+            )
+            path_edges += 1
     # one global timestamp order (flow starts before finishes on ties) —
     # what the exporter validator and Chrome's flow binding both expect.
     phase_order = {"s": 0, "X": 1, "t": 2, "f": 3}
     events.sort(key=lambda e: (e["ts"], phase_order.get(e["ph"], 1), e["pid"], e["tid"]))
-    return {
+    trace = {
         "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
         "otherData": {
@@ -271,14 +500,18 @@ def merged_timeline(
             "flows": next_flow_id - 1,
         },
     }
+    if critical_path is not None:
+        trace["otherData"]["critical_path_edges"] = path_edges
+    return trace
 
 
 def write_timeline(
     recorders: Sequence[FlowRecorder],
     path: str,
+    critical_path: Sequence[Mapping[str, Any]] | None = None,
 ) -> dict[str, Any]:
     """Write the merged timeline JSON; returns the trace object."""
-    trace = merged_timeline(recorders)
+    trace = merged_timeline(recorders, critical_path=critical_path)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(trace, fh, indent=1, sort_keys=True)
         fh.write("\n")

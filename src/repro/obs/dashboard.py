@@ -52,6 +52,7 @@ REQUIRED_SECTIONS = (
     "dash-ledger",
     "dash-bench",
     "dash-fleet",
+    "dash-critical",
     "dash-health",
     "dash-flame",
     "dash-runs",
@@ -119,6 +120,16 @@ th { color: var(--ink-2); font-weight: 600; }
 td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
 .flagline { color: var(--ink); margin: 6px 0 0; font-size: 13px; }
 .flagline .mark { color: var(--critical); font-weight: 700; }
+.blame-track { background: var(--grid); border-radius: 3px; height: 12px;
+  position: relative; min-width: 120px; }
+.blame-fill { background: var(--series-1); border-radius: 3px; height: 12px;
+  position: absolute; left: 0; top: 0; }
+.blame-fill.hot { background: var(--critical); }
+.slack-col { background: var(--series-1); border-radius: 2px 2px 0 0;
+  align-self: flex-end; flex: 1 1 0; min-height: 1px; }
+.slack-chart { display: flex; gap: 3px; height: 90px; align-items: flex-end; }
+.slack-labels { display: flex; gap: 3px; color: var(--muted); font-size: 10px; }
+.slack-labels span { flex: 1 1 0; text-align: center; }
 .okline { color: var(--ink-2); font-size: 13px; margin: 6px 0 0; }
 .flame { position: relative; font-size: 11px; }
 .flame-row { position: relative; height: 18px; margin-bottom: 2px; }
@@ -550,6 +561,77 @@ def _fleet_section(
     return "".join(parts)
 
 
+def _critical_section(explain: Mapping[str, Any] | None) -> str:
+    """Blame bars + slack histogram from a ``repro explain --json`` export."""
+    if not explain:
+        return (
+            '<p class="okline">no explain report supplied '
+            "(repro explain &lt;run&gt; --json explain.json)</p>"
+        )
+    share = float(explain.get("critical_path_share", 0.0))
+    top_rank = explain.get("top_path_rank", "?")
+    head = (
+        f'<p class="sub">rank {html.escape(str(top_rank))} holds '
+        f"{100 * share:.1f}% of the critical path — "
+        f"{float(explain.get('path_duration_us', 0.0)):,.1f} µs over "
+        f"{int(explain.get('path_edges', 0)):,} edges; max slack "
+        f"{float(explain.get('max_slack_us', 0.0)):,.1f} µs "
+        f"({html.escape(str(explain.get('label', '')))})</p>"
+    )
+    rows = []
+    ranks = [r for r in explain.get("ranks", []) if isinstance(r, Mapping)]
+    peak = max((float(r.get("path_share", 0.0)) for r in ranks), default=0.0) or 1.0
+    for r in ranks[:12]:
+        rank_share = float(r.get("path_share", 0.0))
+        hot = " hot" if rank_share >= 0.5 else ""
+        width = 100 * rank_share / peak
+        rows.append(
+            f'<tr><td class="num">{int(r.get("rank", 0))}</td>'
+            f'<td><div class="blame-track">'
+            f'<div class="blame-fill{hot}" style="width:{width:.1f}%"></div>'
+            f"</div></td>"
+            f'<td class="num">{100 * rank_share:.1f}%</td>'
+            f'<td class="num">{float(r.get("late_sender_us", 0.0)):,.1f}</td>'
+            f'<td class="num">{float(r.get("in_flight_us", 0.0)):,.1f}</td>'
+            f'<td class="num">{float(r.get("imbalance_us", 0.0)):,.1f}</td>'
+            f'<td class="num">{float(r.get("slack_max_us", 0.0)):,.1f}</td></tr>'
+        )
+    blame = (
+        '<div class="card"><h3>blame by rank (critical-path share)</h3>'
+        '<table><thead><tr><th class="num">rank</th><th>path share</th>'
+        '<th class="num">%</th><th class="num">late-sender µs</th>'
+        '<th class="num">in-flight µs</th><th class="num">imbalance µs</th>'
+        '<th class="num">slack max µs</th></tr></thead>'
+        f'<tbody>{"".join(rows)}</tbody></table></div>'
+    )
+    hist = [
+        h for h in explain.get("slack_histogram", []) if isinstance(h, Mapping)
+    ]
+    if hist:
+        hi = max((int(h.get("count", 0)) for h in hist), default=0) or 1
+        cols = "".join(
+            f'<div class="slack-col" '
+            f'style="height:{max(100 * int(h.get("count", 0)) / hi, 1):.1f}%" '
+            f'title="≤{float(h.get("edge_us", 0.0)):,.1f} µs: '
+            f'{int(h.get("count", 0)):,}"></div>'
+            for h in hist
+        )
+        labels = "".join(
+            f"<span>{html.escape(_fmt(float(h.get('edge_us', 0.0))))}</span>"
+            for h in hist
+        )
+        slack = (
+            '<div class="card"><h3>slack distribution (µs, bin upper edge)</h3>'
+            f'<div class="slack-chart">{cols}</div>'
+            f'<div class="slack-labels">{labels}</div>'
+            f'<div class="meta">{int(explain.get("matched", 0)):,} matched '
+            "receives</div></div>"
+        )
+    else:
+        slack = '<p class="okline">no matched receives to histogram</p>'
+    return f'{head}<div class="grid">{blame}{slack}</div>'
+
+
 def _health_section(health: Mapping[str, Any] | None) -> str:
     if not health:
         return (
@@ -616,6 +698,7 @@ def build_dashboard(
     folded: str | Sequence[str] | None = None,
     health: Mapping[str, Any] | Any = None,
     fleet_alerts: Mapping[str, Any] | Sequence[Any] | str | None = None,
+    explain: Mapping[str, Any] | str | None = None,
     title: str = "repro perf dashboard",
     generated_at: str = "",
     z_threshold: float = 3.0,
@@ -626,7 +709,8 @@ def build_dashboard(
     ``folded`` a collapsed-stack file path or lines; ``health`` an
     :class:`~repro.replay.supervisor.EncoderHealthReport` or its
     ``to_json()`` dict; ``fleet_alerts`` a ``repro fleet alerts --json``
-    snapshot (the dict, the bare alert list, or a path to either).
+    snapshot (the dict, the bare alert list, or a path to either);
+    ``explain`` a ``repro explain --json`` export (the dict or a path).
     """
     if isinstance(ledger, str):
         ledger = RunLedger(ledger)
@@ -657,6 +741,13 @@ def build_dashboard(
                 fleet_alerts = json.load(fh)
         except (OSError, ValueError):
             fleet_alerts = None
+
+    if isinstance(explain, str):
+        try:
+            with open(explain, "r", encoding="utf-8") as fh:
+                explain = json.load(fh)
+        except (OSError, ValueError):
+            explain = None
 
     hero_value = "—"
     hero_label = "no runs ledgered yet"
@@ -697,6 +788,9 @@ def build_dashboard(
 
 <h2 id="dash-fleet">Fleet telemetry</h2>
 {_fleet_section(docs, fleet_alerts)}
+
+<h2 id="dash-critical">Critical path</h2>
+{_critical_section(explain)}
 
 <h2 id="dash-health">Encoder health</h2>
 {_health_section(health)}

@@ -52,6 +52,11 @@ TREND_MIN_RUNS = 4
 TREND_METRICS: dict[str, tuple[str, str]] = {
     "bytes_per_event": ("bytes_per_event", "high"),
     "events_per_second": ("events_per_second", "low"),
+    # explain metrics: only present on ``mode="explain"`` entries (None
+    # elsewhere — trend_report skips missing values, so record/replay
+    # entries never pollute the explain baselines).
+    "critical_path_share": ("critical_path_share", "high"),
+    "max_slack_us": ("max_slack_us", "high"),
 }
 
 
@@ -76,6 +81,12 @@ class LedgerEntry:
     wall_seconds: float
     #: archive directory, when the run recorded (or replayed) one on disk.
     archive: str | None = None
+    #: critical-path concentration from ``repro explain --ledger``
+    #: (largest single-rank share of critical-path time); None for
+    #: ordinary record/replay entries.
+    critical_path_share: float | None = None
+    #: largest binding-decision slack the explain pass saw, in virtual µs.
+    max_slack_us: float | None = None
     #: RunStats health flags: truncated telemetry, stalls, salvage, …
     health: Mapping[str, Any] = field(default_factory=dict)
     #: unix timestamp of the append (0.0 when unknown).
@@ -123,6 +134,16 @@ class LedgerEntry:
             permutation_pct=float(obj["permutation_pct"]),
             wall_seconds=float(obj["wall_seconds"]),
             archive=(None if obj.get("archive") is None else str(obj["archive"])),
+            critical_path_share=(
+                None
+                if obj.get("critical_path_share") is None
+                else float(obj["critical_path_share"])
+            ),
+            max_slack_us=(
+                None
+                if obj.get("max_slack_us") is None
+                else float(obj["max_slack_us"])
+            ),
             health=dict(obj.get("health", {})),
             time=float(obj.get("time", 0.0)),
         )
@@ -223,6 +244,13 @@ def validate_ledger_lines(lines: Iterable[str]) -> list[str]:
             if not isinstance(obj.get(key), kind):
                 name = kind.__name__ if isinstance(kind, type) else "number"
                 problems.append(f"line {i}: {key} must be {name}")
+        for key in ("critical_path_share", "max_slack_us"):
+            value = obj.get(key)
+            if value is not None and not isinstance(value, (int, float)):
+                problems.append(f"line {i}: {key} must be a number or null")
+        share = obj.get("critical_path_share")
+        if isinstance(share, (int, float)) and not 0.0 <= share <= 1.0:
+            problems.append(f"line {i}: critical_path_share outside [0, 1]")
         run_id = obj.get("run_id")
         if isinstance(run_id, str):
             if run_id in seen_ids:
@@ -352,7 +380,10 @@ def trend_report(
     for entry in entries:
         group = (entry.workload, entry.mode, entry.nprocs)
         for metric, (attr, bad_direction) in TREND_METRICS.items():
-            value = float(getattr(entry, attr))
+            raw = getattr(entry, attr)
+            if raw is None:
+                continue  # metric absent for this entry kind (e.g. explain-only)
+            value = float(raw)
             series.setdefault(group, {}).setdefault(metric, []).append(value)
             baseline = stats.setdefault((group, metric), RunningStats())
             if baseline.count >= min_runs:

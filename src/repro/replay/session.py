@@ -476,6 +476,7 @@ class ReplaySession(_Session):
         latency: LatencyModel | None = None,
         engine_kwargs: Mapping[str, Any] | None = None,
         mode: str = "strict",
+        keep_outcomes: bool = True,
         telemetry: Any = None,
         flow: FlowRecorder | None = None,
         watchdog: Any = None,
@@ -517,9 +518,17 @@ class ReplaySession(_Session):
         self._archive_path = archive_path
         self.archive = archive
         self.delivery_mode = delivery_mode
+        #: skip materializing per-event outcome objects; analysis passes
+        #: that only consume the flow recorder (``repro explain``) turn
+        #: this off — at a million events the objects outweigh the replay.
+        self.keep_outcomes = keep_outcomes
 
     def run(self) -> RunResult:
-        controller = ReplayController(self.archive, delivery_mode=self.delivery_mode)
+        controller = ReplayController(
+            self.archive,
+            delivery_mode=self.delivery_mode,
+            keep_outcomes=self.keep_outcomes,
+        )
         try:
             result = self._run(controller, "replay")
         except RecordExhausted as exc:

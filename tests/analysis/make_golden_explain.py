@@ -1,0 +1,52 @@
+"""Regenerate ``golden_explain.json`` after an intentional change.
+
+Usage::
+
+    PYTHONPATH=src:tests python tests/analysis/make_golden_explain.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from test_critical_path import (  # noqa: E402
+    GOLDEN_EXPLAIN_PATH,
+    GOLDEN_NPROCS,
+    GOLDEN_PARAMS,
+    GOLDEN_SEED,
+)
+
+from repro.analysis.critical_path import analyze_critical_path  # noqa: E402
+from repro.replay.session import RecordSession  # noqa: E402
+from repro.workloads import make_workload  # noqa: E402
+
+if __name__ == "__main__":
+    program, _ = make_workload("mcb", GOLDEN_NPROCS, **GOLDEN_PARAMS)
+    with tempfile.TemporaryDirectory() as tmp:
+        arch = os.path.join(tmp, "arch")
+        RecordSession(
+            program,
+            nprocs=GOLDEN_NPROCS,
+            network_seed=GOLDEN_SEED,
+            store_dir=arch,
+            meta={
+                "workload": "mcb",
+                "nprocs": GOLDEN_NPROCS,
+                "params": dict(GOLDEN_PARAMS),
+            },
+        ).run()
+        result = analyze_critical_path(
+            arch, network_seed=GOLDEN_SEED, label="golden"
+        )
+    with open(GOLDEN_EXPLAIN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(result.to_json(), fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(
+        f"wrote {GOLDEN_EXPLAIN_PATH} (top rank {result.top_path_rank}, "
+        f"share {result.critical_path_share:.3f})"
+    )

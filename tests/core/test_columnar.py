@@ -17,6 +17,7 @@ from repro.core import build_tables, encode_chunk
 from repro.core.columnar import (
     ColumnarTable,
     ColumnarTableBuilder,
+    GrowColumn,
     as_columnar_table,
     build_columnar_tables,
     columnar_epoch_line,
@@ -207,6 +208,103 @@ class TestEncodeEquivalence:
             assert columnar_epoch_line(col_t) == EpochLine.from_events(
                 col_t.to_record_table().matched
             )
+
+
+class TestEncodeEdgeCases:
+    """Degenerate tables every vectorized pass must handle exactly."""
+
+    @pytest.mark.parametrize("assist", [False, True])
+    def test_empty_rank_table(self, assist):
+        """Zero events, zero unmatched: the empty-rank archive shape."""
+        table = ColumnarTable(
+            "cs", np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+        chunk = encode_columnar_chunk(table, replay_assist=assist)
+        assert chunk == encode_chunk(table.to_record_table(), replay_assist=assist)
+        assert chunk.num_events == 0
+        assert columnar_epoch_line(table) == EpochLine({})
+
+    @pytest.mark.parametrize("assist", [False, True])
+    def test_single_event_table(self, assist):
+        table = ColumnarTable(
+            "cs",
+            np.array([3], dtype=np.int64),
+            np.array([17], dtype=np.int64),
+        )
+        chunk = encode_columnar_chunk(table, replay_assist=assist)
+        assert chunk == encode_chunk(table.to_record_table(), replay_assist=assist)
+        assert chunk.num_events == 1
+        assert columnar_epoch_line(table) == EpochLine({3: 17})
+
+    @pytest.mark.parametrize("assist", [False, True])
+    def test_all_senders_one_rank(self, assist):
+        """A monopolized sender column: one bincount bucket, dense scatter."""
+        clocks = [2, 5, 9, 14, 15, 21, 30, 31]
+        table = ColumnarTable(
+            "cs",
+            np.full(len(clocks), 4, dtype=np.int64),
+            np.array(clocks, dtype=np.int64),
+        )
+        chunk = encode_columnar_chunk(table, replay_assist=assist)
+        assert chunk == encode_chunk(table.to_record_table(), replay_assist=assist)
+        assert dict(chunk.sender_counts) == {4: len(clocks)}
+        assert columnar_epoch_line(table) == EpochLine({4: max(clocks)})
+
+    def test_all_senders_one_rank_permuted_delivery(self):
+        """One sender observed out of reference order still encodes equally."""
+        table = ColumnarTable(
+            "cs",
+            np.full(4, 2, dtype=np.int64),
+            np.array([9, 3, 30, 12], dtype=np.int64),
+        )
+        chunk = encode_columnar_chunk(table)
+        assert chunk == encode_chunk(table.to_record_table())
+        assert chunk.diff.num_moved > 0
+        assert columnar_epoch_line(table) == EpochLine({2: 30})
+
+
+class TestGrowColumn:
+    def test_append_across_growth_boundaries(self):
+        col = GrowColumn(capacity=2)
+        for i in range(100):
+            col.append(i)
+        assert len(col) == 100
+        assert col.values.tolist() == list(range(100))
+
+    def test_extend_grows_past_need(self):
+        col = GrowColumn(capacity=4)
+        col.extend(range(3))
+        col.extend(range(3, 100))
+        assert col.values.tolist() == list(range(100))
+
+    def test_values_is_view_array_is_copy(self):
+        col = GrowColumn(capacity=8)
+        col.extend([1, 2, 3])
+        view = col.values
+        copy = col.array()
+        view[0] = 99
+        assert col.values[0] == 99  # view aliases the backing store
+        assert copy[0] == 1  # copy does not
+
+    def test_float_dtype(self):
+        col = GrowColumn(dtype=float, capacity=2)
+        col.append(0.5)
+        col.append(1.25)
+        assert col.values.dtype == np.float64
+        assert col.values.tolist() == [0.5, 1.25]
+
+    def test_clear_keeps_capacity(self):
+        col = GrowColumn(capacity=2)
+        col.extend(range(50))
+        col.clear()
+        assert len(col) == 0
+        assert col.values.shape == (0,)
+        col.append(7)
+        assert col.values.tolist() == [7]
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            GrowColumn(capacity=0)
 
 
 WORKLOADS = {

@@ -295,3 +295,56 @@ class TestServerLossChaos:
             assert shipped_tree[name] == bare_tree[name], (
                 f"{name} differs between shipped and unshipped recordings"
             )
+
+
+class TestCriticalPathAlert:
+    """`critical-path-concentration` fires on the explain gauge."""
+
+    def rule(self):
+        from repro.obs.agg import DEFAULT_ALERT_RULES
+
+        return next(
+            r
+            for r in DEFAULT_ALERT_RULES
+            if r["name"] == "critical-path-concentration"
+        )
+
+    def test_rule_is_armed_and_valid(self):
+        from repro.obs.agg import DEFAULT_ALERT_RULES, validate_alert_rules
+
+        rule = self.rule()
+        assert rule["signal"] == "critical_path_share"
+        assert rule["severity"] == "warning"
+        assert validate_alert_rules(DEFAULT_ALERT_RULES) == []
+
+    def test_fires_above_threshold_only(self):
+        from repro.obs.agg import evaluate_rules
+
+        rule = self.rule()
+        hot = evaluate_rules(
+            [rule], {"run_id": "r", "critical_path_share": 0.9}
+        )
+        assert [a["rule"] for a in hot] == ["critical-path-concentration"]
+        assert hot[0]["observed"] == 0.9
+        cool = evaluate_rules(
+            [rule], {"run_id": "r", "critical_path_share": 0.5}
+        )
+        assert cool == []
+
+    def test_shipped_explain_gauge_reaches_fleet_alerts(self):
+        reg = TelemetryRegistry()
+        with AggregatorServer() as srv:
+            with TelemetryShipper(
+                f"tcp://{srv.host}:{srv.port}", reg,
+                run_id="hot-run", mode="record", interval=0.01,
+            ):
+                # what analyze_critical_path publishes for a skewed run
+                reg.gauge("explain.critical_path_share").set(0.91)
+                reg.counter("sim.events").add(1)
+                time.sleep(0.05)
+            summary = srv.state.runs["hot-run"].summary(
+                time.monotonic(), stall_after=60.0
+            )
+            assert summary["critical_path_share"] == pytest.approx(0.91)
+            fired = {a["rule"] for a in srv.state.alerts()}
+            assert "critical-path-concentration" in fired

@@ -16,6 +16,7 @@ import os
 import pytest
 
 from repro.obs import (
+    ColumnarFlowRecorder,
     FlowRecorder,
     FlowReceive,
     FlowSend,
@@ -23,6 +24,7 @@ from repro.obs import (
     validate_chrome_trace,
     write_timeline,
 )
+from repro.obs.registry import TelemetryRegistry, use_registry
 from repro.replay.session import RecordSession, ReplaySession
 from repro.workloads import make_workload
 
@@ -104,6 +106,136 @@ class TestFlowRecorder:
         record, replay = recorders
         assert set(record.send_index()) == set(replay.send_index())
         assert {r.key for r in record.receives} == {r.key for r in replay.receives}
+
+
+class TestDuplicateSends:
+    """Colliding (clock, sender) identities are counted, never silently kept."""
+
+    def test_first_send_wins_the_index(self):
+        rec = FlowRecorder("dup")
+        rec.on_send(0, 1, 0, 5, 1.0)
+        rec.on_send(0, 2, 0, 5, 9.0)  # same (clock=5, src=0) identity
+        assert rec.duplicate_sends == 1
+        assert len(rec.sends) == 2  # raw capture keeps both
+        winner = rec.send_index()[(5, 0)]
+        assert (winner.dst, winner.t) == (1, 1.0)
+
+    def test_duplicate_counter_fires_with_registry(self):
+        with use_registry(TelemetryRegistry()) as registry:
+            rec = FlowRecorder("dup")
+            rec.on_send(0, 1, 0, 5, 1.0)
+            rec.on_send(0, 1, 0, 5, 2.0)
+            rec.on_send(0, 1, 0, 6, 3.0)
+            assert registry.counters().get("flow.duplicate_send") == 1
+        assert rec.duplicate_sends == 1
+
+    def test_no_counter_traffic_when_registry_disabled(self):
+        rec = FlowRecorder("dup")
+        rec.on_send(0, 1, 0, 5, 1.0)
+        rec.on_send(0, 1, 0, 5, 2.0)
+        assert rec.duplicate_sends == 1  # local count still works
+
+    def test_columnar_recorder_counts_duplicates(self):
+        rec = ColumnarFlowRecorder("dup")
+        rec.on_send(0, 1, 0, 5, 1.0)
+        rec.on_send(0, 1, 0, 5, 2.0)
+        rec.on_send(1, 0, 0, 5, 3.0)  # different sender: not a duplicate
+        assert rec.duplicate_send_count() == 1
+
+    def test_healthy_run_has_zero_duplicates(self, recorders):
+        for rec in recorders:
+            assert rec.duplicate_sends == 0
+
+
+class TestColumnarParity:
+    """ColumnarFlowRecorder is a drop-in for FlowRecorder on the hooks."""
+
+    def columnar_recorders(self) -> list[ColumnarFlowRecorder]:
+        program, _ = make_workload(
+            "synthetic", NPROCS, seed="3", messages_per_rank="8", fanout="2"
+        )
+        rec_flow = ColumnarFlowRecorder("record")
+        record = RecordSession(
+            program, nprocs=NPROCS, network_seed=1, flow=rec_flow
+        ).run()
+        rep_flow = ColumnarFlowRecorder("replay")
+        ReplaySession(
+            program, record.archive, network_seed=2, flow=rep_flow
+        ).run()
+        return [rec_flow, rep_flow]
+
+    def test_match_stats_agree_with_object_recorder(self, recorders):
+        for obj, col in zip(recorders, self.columnar_recorders()):
+            assert obj.match_stats() == col.match_stats()
+
+    def test_merged_timeline_accepts_columnar(self, recorders, timeline):
+        columnar_trace = merged_timeline(self.columnar_recorders())
+        assert validate_chrome_trace(columnar_trace) == []
+        assert columnar_trace == timeline
+
+    def test_send_keys_match_object_index(self, recorders):
+        for obj, col in zip(recorders, self.columnar_recorders()):
+            keys, k = col.send_keys()
+            decomposed = {(int(key // k), int(key % k)) for key in keys}
+            assert decomposed == set(obj.send_index())
+
+
+class TestCriticalPathTrack:
+    """The optional critical-path highlight rides as its own process group."""
+
+    def path_segments(self):
+        return [
+            {"rank": 0, "t0_us": 0.0, "t1_us": 5.0, "kind": "local"},
+            {
+                "rank": 1,
+                "t0_us": 5.0,
+                "t1_us": 9.0,
+                "kind": "in_flight",
+                "from_rank": 0,
+                "callsite": "step",
+            },
+        ]
+
+    def test_track_is_a_distinct_process(self, recorders):
+        trace = merged_timeline(recorders, critical_path=self.path_segments())
+        assert validate_chrome_trace(trace) == []
+        cp_pid = len(recorders) + 1
+        names = {
+            ev["pid"]: ev["args"]["name"]
+            for ev in trace["traceEvents"]
+            if ev.get("ph") == "M" and ev["name"] == "process_name"
+        }
+        assert names[cp_pid] == "critical path"
+        slices = [
+            ev
+            for ev in trace["traceEvents"]
+            if ev.get("ph") == "X" and ev.get("cat") == "critical_path"
+        ]
+        assert len(slices) == 2
+        assert all(ev["pid"] == cp_pid for ev in slices)
+        remote = next(s for s in slices if s["args"]["kind"] == "in_flight")
+        assert remote["args"]["from_rank"] == 0
+        assert remote["args"]["callsite"] == "step"
+        assert trace["otherData"]["critical_path_edges"] == 2
+
+    def test_no_track_without_path(self, recorders, timeline):
+        assert "critical_path_edges" not in timeline["otherData"]
+        assert not any(
+            ev.get("cat") == "critical_path" for ev in timeline["traceEvents"]
+        )
+
+    def test_backward_edge_is_clipped_to_zero_duration(self):
+        rec = FlowRecorder("clip")
+        rec.on_send(0, 1, 0, 1, 1.0)
+        trace = merged_timeline(
+            [rec],
+            critical_path=[
+                {"rank": 0, "t0_us": 7.0, "t1_us": 3.0, "kind": "in_flight"}
+            ],
+        )
+        assert validate_chrome_trace(trace) == []
+        cp = [ev for ev in trace["traceEvents"] if ev.get("cat") == "critical_path"]
+        assert cp[0]["dur"] == 0.0
 
 
 class TestMergedTimeline:

@@ -220,3 +220,86 @@ class TestFleetSection:
         )
         assert "<script>alert(1)</script>" not in text
         assert "&lt;script&gt;" in text
+
+
+class TestCriticalPathSection:
+    """`dash-critical`: blame bars + slack histogram from `repro explain`."""
+
+    EXPLAIN = {
+        "format": "cdc-explain",
+        "version": 1,
+        "label": "unit-run",
+        "critical_path_share": 0.62,
+        "top_path_rank": 3,
+        "path_duration_us": 412.5,
+        "path_edges": 41,
+        "max_slack_us": 19.25,
+        "ranks": [
+            {
+                "rank": 3,
+                "path_us": 255.0,
+                "path_share": 0.62,
+                "late_sender_us": 80.0,
+                "in_flight_us": 20.0,
+                "imbalance_us": 3.0,
+                "slack_max_us": 19.25,
+            },
+            {
+                "rank": 1,
+                "path_us": 157.5,
+                "path_share": 0.38,
+                "late_sender_us": 10.0,
+                "in_flight_us": 5.0,
+                "imbalance_us": 40.0,
+                "slack_max_us": 2.0,
+            },
+        ],
+        "slack_histogram": [
+            {"edge_us": 5.0, "count": 12},
+            {"edge_us": 10.0, "count": 3},
+        ],
+    }
+
+    def test_critical_is_a_required_section(self):
+        assert "dash-critical" in REQUIRED_SECTIONS
+
+    def test_placeholder_without_explain(self, tmp_path):
+        text = build_dashboard(bench_dir=str(tmp_path))
+        assert 'id="dash-critical"' in text
+        assert "no explain report supplied" in text
+        assert validate_dashboard_html(text) == []
+
+    def test_blame_bars_and_histogram_rendered(self, tmp_path):
+        text = build_dashboard(bench_dir=str(tmp_path), explain=self.EXPLAIN)
+        assert "no explain report supplied" not in text
+        assert "62.0% of the critical path" in text
+        assert "blame by rank" in text
+        assert 'class="blame-fill hot"' in text  # 0.62 >= 0.5 → hot bar
+        assert text.count('class="slack-col"') == 2
+        assert validate_dashboard_html(text) == []
+
+    def test_explain_loads_from_path(self, tmp_path):
+        path = tmp_path / "explain.json"
+        path.write_text(json.dumps(self.EXPLAIN))
+        text = build_dashboard(bench_dir=str(tmp_path), explain=str(path))
+        assert "62.0% of the critical path" in text
+
+    def test_unreadable_explain_path_degrades(self, tmp_path):
+        text = build_dashboard(
+            bench_dir=str(tmp_path), explain=str(tmp_path / "missing.json")
+        )
+        assert "no explain report supplied" in text
+        assert validate_dashboard_html(text) == []
+
+    def test_explain_label_is_escaped(self, tmp_path):
+        evil = dict(self.EXPLAIN, label="<script>alert(1)</script>")
+        text = build_dashboard(bench_dir=str(tmp_path), explain=evil)
+        assert "<script>alert(1)</script>" not in text
+        assert "&lt;script&gt;" in text
+
+    def test_validator_enforces_critical_id(self, tmp_path):
+        text = build_dashboard(bench_dir=str(tmp_path))
+        broken = text.replace('id="dash-critical"', 'id="dash-x"')
+        assert any(
+            "dash-critical" in p for p in validate_dashboard_html(broken)
+        )

@@ -885,3 +885,125 @@ class TestFleetCLI:
         rules.write_text('[{"rule": "x"}]')
         with pytest.raises(SystemExit, match="bad alert rules"):
             main(["serve-telemetry", "--rules", str(rules)])
+
+
+class TestTimelineStrict:
+    ARGS = [
+        "timeline", "--workload", "synthetic", "--nprocs", "4",
+        "-p", "messages_per_rank=4", "-p", "fanout=1",
+    ]
+
+    def test_strict_passes_on_fully_correlated_run(self, tmp_path, capsys):
+        out_path = str(tmp_path / "timeline.json")
+        assert main(self.ARGS + ["--out", out_path, "--strict"]) == 0
+        assert "⚠ strict" not in capsys.readouterr().out
+
+    def test_strict_fails_when_receives_cannot_correlate(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs.causal import FlowRecorder
+
+        # drop every send capture: receives can no longer correlate
+        monkeypatch.setattr(
+            FlowRecorder, "on_send", lambda self, *a, **k: None
+        )
+        out_path = str(tmp_path / "timeline.json")
+        assert main(self.ARGS + ["--out", out_path, "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "strict" in out
+        assert "0.0% of receives" in out
+
+    def test_without_strict_same_run_still_exits_zero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.obs.causal import FlowRecorder
+
+        monkeypatch.setattr(
+            FlowRecorder, "on_send", lambda self, *a, **k: None
+        )
+        out_path = str(tmp_path / "timeline.json")
+        assert main(self.ARGS + ["--out", out_path]) == 0
+        capsys.readouterr()
+
+
+class TestExplain:
+    @pytest.fixture(scope="class")
+    def explained(self, tmp_path_factory):
+        base = tmp_path_factory.mktemp("explain")
+        ledger = str(base / "runs.jsonl")
+        archive = str(base / "rec")
+        assert main(
+            [
+                "record", "--workload", "synthetic", "--nprocs", "6",
+                "--network-seed", "5", "--out", archive,
+                "-p", "messages_per_rank=8", "-p", "fanout=2",
+                "--ledger", ledger,
+            ]
+        ) == 0
+        return archive, ledger
+
+    def test_blame_report_renders(self, explained, capsys):
+        archive, _ = explained
+        assert main(["explain", archive]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" in out
+        assert "blame by rank" in out
+        assert "blame by callsite" in out
+        assert "read-only replay" in out
+
+    def test_json_export_passes_schema(self, explained, tmp_path, capsys):
+        import json
+
+        from repro.analysis.critical_path import validate_explain_json
+
+        archive, _ = explained
+        out = str(tmp_path / "explain.json")
+        assert main(["explain", archive, "--json", out]) == 0
+        capsys.readouterr()
+        with open(out, encoding="utf-8") as fh:
+            obj = json.load(fh)
+        assert validate_explain_json(obj) == []
+        assert obj["receives"] > 0
+        assert obj["match_rate"] == 1.0
+
+    def test_timeline_highlight_validates(self, explained, tmp_path, capsys):
+        import json
+
+        from repro.obs import validate_chrome_trace
+
+        archive, _ = explained
+        out = str(tmp_path / "explain_tl.json")
+        assert main(["explain", archive, "--timeline", out]) == 0
+        assert "critical-path" in capsys.readouterr().out
+        with open(out, encoding="utf-8") as fh:
+            trace = json.load(fh)
+        assert validate_chrome_trace(trace) == []
+        assert trace["otherData"]["critical_path_edges"] > 0
+        assert any(
+            ev.get("cat") == "critical_path" for ev in trace["traceEvents"]
+        )
+
+    def test_ledger_run_id_resolves_and_appends_entry(
+        self, explained, capsys
+    ):
+        from repro.obs.ledger import RunLedger
+
+        _, ledger = explained
+        assert main(["explain", "r0001", "--ledger", ledger]) == 0
+        capsys.readouterr()
+        entries = RunLedger(ledger).entries()
+        assert entries[-1].mode == "explain"
+        assert entries[-1].critical_path_share is not None
+        assert 0.0 <= entries[-1].critical_path_share <= 1.0
+        assert entries[-1].max_slack_us is not None
+        # record/replay entries never carry explain metrics
+        assert entries[0].critical_path_share is None
+
+    def test_unknown_run_id_fails(self, explained):
+        _, ledger = explained
+        with pytest.raises(SystemExit):
+            main(["explain", "r9999", "--ledger", ledger])
+
+    def test_unresolvable_source_fails(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["explain", str(tmp_path / "nope")])
